@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Fig. 3 — resource-level power utilities.
+ *
+ * For each application, the performance gained per extra watt spent
+ * on (a) one more core, (b) one DVFS step on all cores, or (c) one
+ * more DRAM watt, from a mid-range base setting.  Memory-intensive
+ * applications gain far more from DRAM watts — the R2 premise that
+ * partitioning an indirect resource requires partitioning it across
+ * the direct resources.
+ */
+
+#include "bench_common.hh"
+#include "core/utility_curve.hh"
+
+using namespace psm;
+using namespace psm::bench;
+
+int
+main()
+{
+    const auto &plat = power::defaultPlatform();
+    auto settings = plat.knobSpace();
+    power::KnobSetting base{1.6, 3, 5.0};
+
+    Table fig({"app", "type", "+1 core (perf/W)", "+1 DVFS step",
+               "+1 DRAM watt", "best knob"});
+    for (const auto &p : perf::workloadLibrary()) {
+        auto surface = oracleSurface(p.name);
+        auto m = core::resourceMarginals(plat, settings, surface,
+                                         base);
+        const char *best = "core";
+        double best_v = m.corePerWatt;
+        if (m.freqPerWatt > best_v) {
+            best = "freq";
+            best_v = m.freqPerWatt;
+        }
+        if (m.dramPerWatt > best_v)
+            best = "dram";
+        fig.beginRow()
+            .cell(p.name)
+            .cell(perf::appTypeName(p.type))
+            .cell(m.corePerWatt, 4)
+            .cell(m.freqPerWatt, 4)
+            .cell(m.dramPerWatt, 4)
+            .cell(best)
+            .endRow();
+    }
+    fig.print("Fig. 3: per-resource marginal utility at base setting "
+              "(f=1.6 GHz, n=3, m=5 W)");
+    return 0;
+}

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Fig. 4 — coordinating power use between applications.
+ *
+ * Reproduces the Section II-C example: a two-application server under
+ * a 90 W cap can coordinate *in space* (both throttle simultaneously,
+ * Fig. 4a); under an 80 W cap, where even minimal simultaneous
+ * operation does not fit, it must coordinate *in time* by alternate
+ * duty cycling (Fig. 4b).  The framework picks the mode itself.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+
+using namespace psm;
+using namespace psm::bench;
+
+int
+main()
+{
+    Table fig({"P_cap (W)", "mode", "throughput", "app1 perf",
+               "app2 perf", "avg power (W)", "viol %"});
+    for (double cap : {110.0, 100.0, 90.0, 85.0, 80.0, 75.0}) {
+        MixOutcome r = runMix(1, core::PolicyKind::AppResAware, cap,
+                              false);
+        fig.beginRow()
+            .cell(cap, 0)
+            .cell(core::coordinationModeName(r.mode))
+            .cell(r.throughput, 3)
+            .cell(r.app1Perf, 3)
+            .cell(r.app2Perf, 3)
+            .cell(r.avgPower, 1)
+            .cell(100.0 * r.violationFraction, 1)
+            .endRow();
+    }
+    fig.print("Fig. 4: the coordinator switches from coordination in "
+              "space (R3a) to coordination in time (R3b) as the cap "
+              "tightens (mix 1: stream+kmeans)");
+
+    std::printf("\nReading: down to ~85 W both applications run "
+                "simultaneously at reduced knobs; once the dynamic\n"
+                "budget cannot host both minima, the coordinator "
+                "alternately duty-cycles them (someone always runs,\n"
+                "so P_cm is always paid).\n");
+    return 0;
+}

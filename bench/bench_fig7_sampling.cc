@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Fig. 7 — calibration of the online sampling rate.
+ *
+ * Sweeps the fraction of knob settings measured online, running
+ * 5-fold cross-validation over the workload library (80% of the
+ * applications estimate the metrics for the held-out 20%), and
+ * reports estimation error for power and performance plus the power
+ * *under*-prediction component — the part of the error that turns
+ * into cap overshoot when the allocator trusts the estimate.  The
+ * paper fixes the online sampling rate at 10% based on this sweep.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+#include "cf/cross_validation.hh"
+
+using namespace psm;
+
+int
+main()
+{
+    cf::CvConfig cv;
+    cv.folds = 5;
+    cv.measurementNoise = 0.02;
+
+    std::vector<double> fractions = {0.02, 0.04, 0.06, 0.08, 0.10,
+                                     0.15, 0.20, 0.30, 0.50};
+    auto results = cf::sweepSamplingFractions(
+        power::defaultPlatform(), perf::workloadLibrary(), fractions,
+        cv);
+
+    Table fig({"sampled fraction", "power rel. err", "perf rel. err",
+               "power under-prediction", "held-out apps"});
+    for (const auto &r : results) {
+        fig.beginRow()
+            .cell(fmtPercent(r.sampleFraction, 0))
+            .cell(fmtPercent(r.powerRelError, 1))
+            .cell(fmtPercent(r.perfRelError, 1))
+            .cell(fmtPercent(r.powerUnderPrediction, 1))
+            .cell(static_cast<long>(r.heldOutApps))
+            .endRow();
+    }
+    fig.print("Fig. 7: estimation quality vs online sampling "
+              "fraction (5-fold CV, 2% measurement noise)");
+
+    std::printf("\nReading: below ~10%% sampling the power error "
+                "(and its under-prediction share) grows, which is\n"
+                "what makes the server overshoot its cap in the "
+                "paper's Fig. 7; 10%% is the knee and is the default\n"
+                "sampling rate everywhere else in this repo.\n");
+
+    // Ablation: ALS rank at the 10% operating point.
+    Table ranks({"ALS rank", "power rel. err", "perf rel. err"});
+    for (std::size_t rank : {1u, 2u, 3u, 4u, 6u, 8u}) {
+        cf::CvConfig c = cv;
+        c.als.rank = rank;
+        auto r = cf::crossValidate(power::defaultPlatform(),
+                                   perf::workloadLibrary(), 0.10, c);
+        ranks.beginRow()
+            .cell(static_cast<long>(rank))
+            .cell(fmtPercent(r.powerRelError, 1))
+            .cell(fmtPercent(r.perfRelError, 1))
+            .endRow();
+    }
+    ranks.print("Ablation: factorization rank at 10% sampling");
+    return 0;
+}

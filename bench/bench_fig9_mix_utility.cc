@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Fig. 9 — power utility differences across applications and their
+ * hardware resources, for the three mixes the paper dissects.
+ *
+ * (a) Mix 10 (PageRank+kmeans): both compute bound, but with
+ *     different marginal benefit per watt — App-Aware splits ~55/45.
+ * (b) Mix 1 (STREAM+kmeans): similar app-level utilities at the fair
+ *     split, so App-Aware ~ Util-Unaware...
+ * (d) ...but very different *resource-level* utilities, which is
+ *     where App+Res-Aware wins.
+ * (c) Mix 14 (X264+SSSP): differs at both levels.
+ */
+
+#include "bench_common.hh"
+#include "core/utility_curve.hh"
+
+using namespace psm;
+using namespace psm::bench;
+
+namespace
+{
+
+void
+interAppUtility(int mix_id, const char *caption)
+{
+    const auto &mx = perf::mix(mix_id);
+    auto a = oracleCurve(mx.app1);
+    auto b = oracleCurve(mx.app2);
+    Table fig({"app budget (W)", mx.app1, mx.app2});
+    for (double budget = 8.0; budget <= 22.0 + 1e-9; budget += 2.0) {
+        fig.beginRow()
+            .cell(budget, 0)
+            .cell(a.perfAt(budget), 3)
+            .cell(b.perfAt(budget), 3)
+            .endRow();
+    }
+    fig.print(caption);
+}
+
+} // namespace
+
+int
+main()
+{
+    interAppUtility(10, "Fig. 9a: inter-app power utility, mix 10 "
+                        "(pagerank+kmeans)");
+    interAppUtility(1, "Fig. 9b: inter-app power utility, mix 1 "
+                       "(stream+kmeans)");
+    interAppUtility(14, "Fig. 9c: inter-app power utility, mix 14 "
+                        "(x264+sssp)");
+
+    // Fig. 9d: intra-app resource-level utility for the apps of
+    // mixes 1 and 14.
+    const auto &plat = power::defaultPlatform();
+    auto settings = plat.knobSpace();
+    power::KnobSetting base{1.6, 3, 5.0};
+    Table fig_d({"app", "+1 core (perf/W)", "+1 DVFS step",
+                 "+1 DRAM watt"});
+    for (const char *app : {"stream", "kmeans", "x264", "sssp"}) {
+        auto m = core::resourceMarginals(plat, settings,
+                                         oracleSurface(app), base);
+        fig_d.beginRow()
+            .cell(app)
+            .cell(m.corePerWatt, 4)
+            .cell(m.freqPerWatt, 4)
+            .cell(m.dramPerWatt, 4)
+            .endRow();
+    }
+    fig_d.print("Fig. 9d: intra-app resource-level power utility "
+                "(mixes 1 and 14)");
+    return 0;
+}

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Table I — server configuration.
+ *
+ * Prints the platform description and validates the power calibration
+ * against the paper's measured constants by actually running the
+ * simulator: idle draw, the P_cm step when a core wakes, the worked
+ * example's 90 W single-app / 110 W two-app operating points, and the
+ * dynamic power headroom.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+#include "sim/server.hh"
+
+using namespace psm;
+
+namespace
+{
+
+Watts
+measureIdle()
+{
+    sim::Server server;
+    server.run(toTicks(2.0));
+    return server.meter().averagePower();
+}
+
+Watts
+measureWithApps(const std::vector<std::string> &apps)
+{
+    sim::Server server;
+    for (const auto &a : apps)
+        server.admit(perf::workload(a));
+    server.run(toTicks(10.0));
+    return server.meter().averagePower();
+}
+
+} // namespace
+
+int
+main()
+{
+    const auto &plat = power::defaultPlatform();
+
+    Table config({"parameter", "value"});
+    config.addRow({"Processor", "Xeon-2620 (simulated)"});
+    config.addRow({"Cores", std::to_string(plat.totalCores())});
+    config.addRow({"Freq.", fmtDouble(plat.freqMin, 1) + "-" +
+                                fmtDouble(plat.freqMax, 1) + " GHz"});
+    config.addRow({"Freq. steps", std::to_string(plat.freqSteps())});
+    config.addRow({"LLC", fmtDouble(plat.llcMb, 0) + " MB"});
+    config.addRow({"Memory", fmtDouble(plat.memoryGb, 0) + " GB DDR3"});
+    config.addRow({"NUMA", std::to_string(plat.sockets) + " nodes"});
+    config.addRow({"P_idle", formatPower(plat.idlePower)});
+    config.addRow({"P_cm", formatPower(plat.cmPower)});
+    config.addRow({"P_dynamic", formatPower(plat.dynamicPowerMax)});
+    config.print("Table I: server configuration");
+
+    // Validate by measurement, like the paper's worked example.
+    Watts idle = measureIdle();
+    Watts one_app = measureWithApps({"kmeans"});
+    Watts two_apps = measureWithApps({"stream", "kmeans"});
+
+    Table check({"quantity", "paper", "measured"});
+    check.beginRow().cell("idle server").cell("50 W")
+        .cell(formatPower(idle)).endRow();
+    check.beginRow().cell("one app (P_idle+P_cm+P_dyn)").cell("90 W")
+        .cell(formatPower(one_app)).endRow();
+    check.beginRow().cell("two co-located apps").cell("110 W")
+        .cell(formatPower(two_apps)).endRow();
+    check.beginRow().cell("implied P_cm")
+        .cell("20 W")
+        .cell(formatPower(one_app - idle -
+                          (two_apps - one_app)))
+        .endRow();
+    check.print("Calibration check (Section II-A worked example)");
+
+    std::printf("\nKnob space: %zu settings "
+                "(9 freqs x 6 core counts x 8 DRAM budgets)\n",
+                plat.knobSpace().size());
+    return 0;
+}

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Table II — application mixes.
+ *
+ * Prints the fifteen co-location pairs together with each
+ * application's class and its isolated uncapped operating point
+ * (heartbeat rate, dynamic power), which anchors every normalized
+ * result in the other benches.
+ */
+
+#include "bench_common.hh"
+#include "perf/perf_model.hh"
+
+using namespace psm;
+
+int
+main()
+{
+    const auto &plat = power::defaultPlatform();
+
+    Table lib({"app", "type", "uncapped hb/s", "P_X max (W)",
+               "P_X min (W)", "core util", "mem GB/s"});
+    for (const auto &p : perf::workloadLibrary()) {
+        perf::PerfModel m(plat, p);
+        perf::OperatingPoint op = m.evaluate(plat.maxSetting());
+        lib.beginRow()
+            .cell(p.name)
+            .cell(perf::appTypeName(p.type))
+            .cell(m.maxHbRate(), 1)
+            .cell(m.maxPower(), 1)
+            .cell(m.minPower(), 1)
+            .cell(op.coreUtilization, 2)
+            .cell(op.memBandwidth, 1)
+            .endRow();
+    }
+    lib.print("Workload library (12 applications)");
+
+    Table mixes({"mix", "app1 (type)", "app2 (type)",
+                 "uncapped wall (W)"});
+    for (const auto &mx : perf::tableTwoMixes()) {
+        const auto &a = perf::workload(mx.app1);
+        const auto &b = perf::workload(mx.app2);
+        perf::PerfModel ma(plat, a);
+        perf::PerfModel mb(plat, b);
+        mixes.beginRow()
+            .cell(static_cast<long>(mx.id))
+            .cell(mx.app1 + " (" + perf::appTypeName(a.type) + ")")
+            .cell(mx.app2 + " (" + perf::appTypeName(b.type) + ")")
+            .cell(plat.idlePower + plat.cmPower + ma.maxPower() +
+                      mb.maxPower(),
+                  1)
+            .endRow();
+    }
+    mixes.print("Table II: application mixes");
+    return 0;
+}

@@ -1,0 +1,107 @@
+#include "cross_validation.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "perf/perf_model.hh"
+#include "util/logging.hh"
+#include "util/random.hh"
+
+namespace psm::cf
+{
+
+CvResult
+crossValidate(const power::PlatformConfig &config,
+              const std::vector<perf::AppProfile> &apps,
+              double sample_fraction, const CvConfig &cv)
+{
+    psm_assert(sample_fraction > 0.0 && sample_fraction <= 1.0);
+    psm_assert(cv.folds >= 2);
+    psm_assert(apps.size() >= cv.folds);
+
+    Rng rng(cv.seed);
+    Profiler profiler(config, cv.measurementNoise);
+    Sampler sampler(config, cv.strategy);
+
+    // Exhaustive ground-truth rows for every application (measured
+    // noiselessly — this is the reference, not an observation).
+    Rng truth_rng(cv.seed ^ 0x7247ULL);
+    Profiler truth_profiler(config, 0.0);
+    std::vector<std::vector<double>> truth_power(apps.size());
+    std::vector<std::vector<double>> truth_hb(apps.size());
+    std::vector<perf::PerfModel> models;
+    models.reserve(apps.size());
+    for (std::size_t i = 0; i < apps.size(); ++i) {
+        models.emplace_back(config, apps[i]);
+        truth_profiler.measureAll(models[i], truth_power[i],
+                                  truth_hb[i], truth_rng);
+    }
+
+    // Shuffled fold assignment.
+    std::vector<std::size_t> order(apps.size());
+    for (std::size_t i = 0; i < order.size(); ++i)
+        order[i] = i;
+    rng.shuffle(order);
+
+    CvResult result;
+    result.sampleFraction = sample_fraction;
+    double power_err = 0.0;
+    double perf_err = 0.0;
+    double under_pred = 0.0;
+    std::size_t cells = 0;
+    std::size_t held_out = 0;
+
+    for (std::size_t fold = 0; fold < cv.folds; ++fold) {
+        UtilityEstimator estimator(config, cv.als);
+        std::vector<std::size_t> test_apps;
+        for (std::size_t i = 0; i < order.size(); ++i) {
+            std::size_t app = order[i];
+            if (i % cv.folds == fold)
+                test_apps.push_back(app);
+            else
+                estimator.addCorpusApp(apps[app].name,
+                                       truth_power[app],
+                                       truth_hb[app]);
+        }
+
+        for (std::size_t app : test_apps) {
+            auto cols = sampler.select(sample_fraction, rng);
+            auto samples = profiler.measure(models[app], cols, rng);
+            UtilitySurface surface = estimator.estimate(samples);
+
+            ++held_out;
+            for (std::size_t c = 0; c < surface.power.size(); ++c) {
+                double tp = truth_power[app][c];
+                double th = truth_hb[app][c];
+                psm_assert(tp > 0.0 && th > 0.0);
+                power_err += std::abs(surface.power[c] - tp) / tp;
+                perf_err += std::abs(surface.hbRate[c] - th) / th;
+                under_pred += std::max(0.0, tp - surface.power[c]) / tp;
+                ++cells;
+            }
+        }
+    }
+
+    psm_assert(cells > 0);
+    result.powerRelError = power_err / static_cast<double>(cells);
+    result.perfRelError = perf_err / static_cast<double>(cells);
+    result.powerUnderPrediction =
+        under_pred / static_cast<double>(cells);
+    result.heldOutApps = held_out;
+    return result;
+}
+
+std::vector<CvResult>
+sweepSamplingFractions(const power::PlatformConfig &config,
+                       const std::vector<perf::AppProfile> &apps,
+                       const std::vector<double> &fractions,
+                       const CvConfig &cv)
+{
+    std::vector<CvResult> results;
+    results.reserve(fractions.size());
+    for (double f : fractions)
+        results.push_back(crossValidate(config, apps, f, cv));
+    return results;
+}
+
+} // namespace psm::cf

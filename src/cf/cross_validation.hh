@@ -1,0 +1,72 @@
+/**
+ * @file
+ * K-fold cross-validation of the utility estimator (Fig. 7's
+ * calibration methodology: 80% of applications estimate the metrics
+ * for the remaining 20%, swept over sampling fractions).
+ */
+
+#ifndef PSM_CF_CROSS_VALIDATION_HH
+#define PSM_CF_CROSS_VALIDATION_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "estimator.hh"
+#include "perf/app_profile.hh"
+#include "power/platform.hh"
+#include "sampler.hh"
+
+namespace psm::cf
+{
+
+/** Aggregated estimation quality at one sampling fraction. */
+struct CvResult
+{
+    double sampleFraction = 0.0; ///< fraction of settings measured
+    double powerRelError = 0.0;  ///< mean |pred-true|/true for power
+    double perfRelError = 0.0;   ///< mean |pred-true|/true for perf
+    /**
+     * Mean relative power *under*-prediction: the component of the
+     * error that causes the server to overshoot its cap when the
+     * allocator trusts the estimate (Fig. 7's overshoot at low
+     * sampling rates).
+     */
+    double powerUnderPrediction = 0.0;
+    std::size_t heldOutApps = 0; ///< total held-out evaluations
+};
+
+/** Configuration of one cross-validation run. */
+struct CvConfig
+{
+    std::size_t folds = 5;
+    SamplingStrategy strategy = SamplingStrategy::Stratified;
+    AlsConfig als = {};
+    double measurementNoise = 0.0;
+    std::uint64_t seed = 42;
+};
+
+/**
+ * Run k-fold cross-validation over a set of application profiles at
+ * one sampling fraction.
+ *
+ * Each fold holds out ~1/k of the applications; the rest form the
+ * corpus.  Each held-out application is measured at the sampled
+ * columns only, its surface estimated, and prediction error computed
+ * against its exhaustive (ground truth) measurement.
+ */
+CvResult crossValidate(const power::PlatformConfig &config,
+                       const std::vector<perf::AppProfile> &apps,
+                       double sample_fraction, const CvConfig &cv = {});
+
+/**
+ * Sweep sampling fractions (the x-axis of Fig. 7).
+ */
+std::vector<CvResult>
+sweepSamplingFractions(const power::PlatformConfig &config,
+                       const std::vector<perf::AppProfile> &apps,
+                       const std::vector<double> &fractions,
+                       const CvConfig &cv = {});
+
+} // namespace psm::cf
+
+#endif // PSM_CF_CROSS_VALIDATION_HH

@@ -1,0 +1,142 @@
+#include "estimator.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace psm::cf
+{
+
+namespace
+{
+/** Floor for log-space transforms of heartbeat rates. */
+constexpr double hbFloor = 1e-6;
+} // namespace
+
+UtilityEstimator::UtilityEstimator(const power::PlatformConfig &config,
+                                   AlsConfig als)
+    : config(config), als_config(als), columns(config.knobSpace()),
+      n_cols(columns.size()), power_corpus(0, 0), log_hb_corpus(0, 0)
+{
+    als_config.validate();
+    psm_assert(n_cols > 0);
+}
+
+const power::KnobSetting &
+UtilityEstimator::setting(std::size_t c) const
+{
+    psm_assert(c < n_cols);
+    return columns[c];
+}
+
+std::size_t
+UtilityEstimator::columnOf(const power::KnobSetting &raw) const
+{
+    power::KnobSetting s = config.clampSetting(raw);
+    for (std::size_t c = 0; c < n_cols; ++c) {
+        const power::KnobSetting &k = columns[c];
+        if (std::abs(k.freq - s.freq) < 1e-6 && k.cores == s.cores &&
+            std::abs(k.dramPower - s.dramPower) < 1e-6) {
+            return c;
+        }
+    }
+    panic("knob setting (%.1f GHz, %d cores, %.0f W) not in the "
+          "enumerated space", s.freq, s.cores, s.dramPower);
+}
+
+void
+UtilityEstimator::addCorpusApp(const std::string &name,
+                               const std::vector<double> &power_row,
+                               const std::vector<double> &hb_row)
+{
+    psm_assert(power_row.size() == n_cols && hb_row.size() == n_cols);
+    if (hasCorpusApp(name))
+        fatal("corpus already contains '%s'", name.c_str());
+
+    if (power_corpus.rows() == 0) {
+        power_corpus = MaskedMatrix(0, 0);
+        log_hb_corpus = MaskedMatrix(0, 0);
+    }
+    std::vector<double> log_row(n_cols);
+    for (std::size_t c = 0; c < n_cols; ++c)
+        log_row[c] = std::log(std::max(hb_row[c], hbFloor));
+    power_corpus.appendObservedRow(power_row);
+    log_hb_corpus.appendObservedRow(log_row);
+    names.push_back(name);
+}
+
+bool
+UtilityEstimator::hasCorpusApp(const std::string &name) const
+{
+    for (const auto &n : names)
+        if (n == name)
+            return true;
+    return false;
+}
+
+void
+UtilityEstimator::clearCorpus()
+{
+    names.clear();
+    power_corpus = MaskedMatrix(0, 0);
+    log_hb_corpus = MaskedMatrix(0, 0);
+}
+
+UtilitySurface
+UtilityEstimator::estimate(const std::vector<Measurement> &samples) const
+{
+    if (samples.empty())
+        fatal("cannot estimate a utility surface from zero samples");
+
+    // Build working copies of the corpus with the new app appended as
+    // a sparse row.
+    MaskedMatrix power_m = power_corpus;
+    MaskedMatrix hb_m = log_hb_corpus;
+    if (power_m.rows() == 0) {
+        power_m = MaskedMatrix(0, n_cols);
+        hb_m = MaskedMatrix(0, n_cols);
+        // MaskedMatrix(0, n) has the column count fixed; append via
+        // empty rows below.
+    }
+    power_m.appendEmptyRow();
+    hb_m.appendEmptyRow();
+    std::size_t new_row = power_m.rows() - 1;
+    for (const Measurement &s : samples) {
+        psm_assert(s.column < n_cols);
+        power_m.observe(new_row, s.column, s.power);
+        hb_m.observe(new_row, s.column,
+                     std::log(std::max(s.hbRate, hbFloor)));
+    }
+
+    AlsModel power_model(power_m, als_config);
+    AlsModel hb_model(hb_m, als_config);
+
+    UtilitySurface surface;
+    surface.power.resize(n_cols);
+    surface.hbRate.resize(n_cols);
+    surface.sampledColumns = samples.size();
+    for (std::size_t c = 0; c < n_cols; ++c) {
+        if (power_m.observed(new_row, c)) {
+            surface.power[c] = power_m.at(new_row, c);
+            surface.hbRate[c] = std::exp(hb_m.at(new_row, c));
+        } else {
+            surface.power[c] = power_model.predict(new_row, c);
+            surface.hbRate[c] = std::exp(hb_model.predict(new_row, c));
+        }
+    }
+    return surface;
+}
+
+UtilitySurface
+UtilityEstimator::surfaceFromRows(const std::vector<double> &power_row,
+                                  const std::vector<double> &hb_row)
+{
+    psm_assert(power_row.size() == hb_row.size());
+    UtilitySurface s;
+    s.power = power_row;
+    s.hbRate = hb_row;
+    s.sampledColumns = power_row.size();
+    return s;
+}
+
+} // namespace psm::cf

@@ -1,0 +1,162 @@
+#include "matrix.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/logging.hh"
+
+namespace psm::cf
+{
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
+    : n_rows(rows), n_cols(cols), data(rows * cols, fill)
+{
+}
+
+std::size_t
+Matrix::index(std::size_t r, std::size_t c) const
+{
+    psm_assert(r < n_rows && c < n_cols);
+    return r * n_cols + c;
+}
+
+double &
+Matrix::at(std::size_t r, std::size_t c)
+{
+    return data[index(r, c)];
+}
+
+double
+Matrix::at(std::size_t r, std::size_t c) const
+{
+    return data[index(r, c)];
+}
+
+void
+Matrix::appendRow(const std::vector<double> &row)
+{
+    if (n_rows == 0 && n_cols == 0)
+        n_cols = row.size();
+    psm_assert(row.size() == n_cols);
+    data.insert(data.end(), row.begin(), row.end());
+    ++n_rows;
+}
+
+std::vector<double>
+Matrix::row(std::size_t r) const
+{
+    psm_assert(r < n_rows);
+    return {data.begin() + static_cast<long>(r * n_cols),
+            data.begin() + static_cast<long>((r + 1) * n_cols)};
+}
+
+double
+Matrix::rmse(const Matrix &other) const
+{
+    psm_assert(rows() == other.rows() && cols() == other.cols());
+    if (data.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (std::size_t i = 0; i < data.size(); ++i) {
+        double d = data[i] - other.data[i];
+        sum += d * d;
+    }
+    return std::sqrt(sum / static_cast<double>(data.size()));
+}
+
+MaskedMatrix::MaskedMatrix(std::size_t rows, std::size_t cols)
+    : values(rows, cols), mask(rows * cols, 0)
+{
+}
+
+void
+MaskedMatrix::observe(std::size_t r, std::size_t c, double value)
+{
+    values.at(r, c) = value;
+    std::size_t i = r * values.cols() + c;
+    if (!mask[i]) {
+        mask[i] = 1;
+        ++n_observed;
+    }
+}
+
+void
+MaskedMatrix::unobserve(std::size_t r, std::size_t c)
+{
+    std::size_t i = r * values.cols() + c;
+    if (mask[i]) {
+        mask[i] = 0;
+        --n_observed;
+    }
+}
+
+bool
+MaskedMatrix::observed(std::size_t r, std::size_t c) const
+{
+    return mask[r * values.cols() + c] != 0;
+}
+
+double
+MaskedMatrix::at(std::size_t r, std::size_t c) const
+{
+    return values.at(r, c);
+}
+
+void
+MaskedMatrix::appendObservedRow(const std::vector<double> &row)
+{
+    values.appendRow(row);
+    mask.insert(mask.end(), row.size(), 1);
+    n_observed += row.size();
+}
+
+void
+MaskedMatrix::appendEmptyRow()
+{
+    psm_assert(values.cols() > 0);
+    values.appendRow(std::vector<double>(values.cols(), 0.0));
+    mask.insert(mask.end(), values.cols(), 0);
+}
+
+double
+MaskedMatrix::density() const
+{
+    if (mask.empty())
+        return 0.0;
+    return static_cast<double>(n_observed) /
+           static_cast<double>(mask.size());
+}
+
+double
+MaskedMatrix::observedMean() const
+{
+    if (n_observed == 0)
+        return 0.0;
+    double sum = 0.0;
+    for (std::size_t r = 0; r < rows(); ++r)
+        for (std::size_t c = 0; c < cols(); ++c)
+            if (observed(r, c))
+                sum += at(r, c);
+    return sum / static_cast<double>(n_observed);
+}
+
+std::pair<double, double>
+MaskedMatrix::observedRange() const
+{
+    if (n_observed == 0)
+        return {0.0, 0.0};
+    double lo = std::numeric_limits<double>::infinity();
+    double hi = -lo;
+    for (std::size_t r = 0; r < rows(); ++r) {
+        for (std::size_t c = 0; c < cols(); ++c) {
+            if (observed(r, c)) {
+                lo = std::min(lo, at(r, c));
+                hi = std::max(hi, at(r, c));
+            }
+        }
+    }
+    return {lo, hi};
+}
+
+} // namespace psm::cf

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Dense matrix with an observation mask — the "preference matrix" of
+ * the paper's collaborative filtering stage.
+ *
+ * Rows are applications, columns are knob settings; a cell holds a
+ * measured (or predicted) power or performance value.  The mask marks
+ * which cells were actually measured: the estimator trains only on
+ * observed cells and fills in the rest.
+ */
+
+#ifndef PSM_CF_MATRIX_HH
+#define PSM_CF_MATRIX_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace psm::cf
+{
+
+/**
+ * Row-major dense matrix of doubles.
+ */
+class Matrix
+{
+  public:
+    Matrix() = default;
+    Matrix(std::size_t rows, std::size_t cols, double fill = 0.0);
+
+    std::size_t rows() const { return n_rows; }
+    std::size_t cols() const { return n_cols; }
+    bool empty() const { return n_rows == 0 || n_cols == 0; }
+
+    double &at(std::size_t r, std::size_t c);
+    double at(std::size_t r, std::size_t c) const;
+
+    /** Append a row (must match the column count; first row sets it). */
+    void appendRow(const std::vector<double> &row);
+
+    /** Copy of one row. */
+    std::vector<double> row(std::size_t r) const;
+
+    /** Root-mean-square difference over all cells (same shape). */
+    double rmse(const Matrix &other) const;
+
+  private:
+    std::size_t n_rows = 0;
+    std::size_t n_cols = 0;
+    std::vector<double> data;
+
+    std::size_t index(std::size_t r, std::size_t c) const;
+};
+
+/**
+ * A matrix paired with a boolean observation mask.
+ */
+class MaskedMatrix
+{
+  public:
+    MaskedMatrix() = default;
+    MaskedMatrix(std::size_t rows, std::size_t cols);
+
+    std::size_t rows() const { return values.rows(); }
+    std::size_t cols() const { return values.cols(); }
+
+    /** Record an observation. */
+    void observe(std::size_t r, std::size_t c, double value);
+
+    /** Forget an observation (used by cross-validation hold-outs). */
+    void unobserve(std::size_t r, std::size_t c);
+
+    bool observed(std::size_t r, std::size_t c) const;
+    double at(std::size_t r, std::size_t c) const;
+
+    /** Append a fully-observed row. */
+    void appendObservedRow(const std::vector<double> &row);
+
+    /** Append a fully-unobserved (empty) row. */
+    void appendEmptyRow();
+
+    std::size_t observedCount() const { return n_observed; }
+    /** Fraction of cells observed. */
+    double density() const;
+
+    /** Mean of the observed cells (0 when none). */
+    double observedMean() const;
+
+    /** Min/max over observed cells; {0,0} when none. */
+    std::pair<double, double> observedRange() const;
+
+    const Matrix &matrix() const { return values; }
+
+  private:
+    Matrix values;
+    std::vector<char> mask;
+    std::size_t n_observed = 0;
+};
+
+} // namespace psm::cf
+
+#endif // PSM_CF_MATRIX_HH

@@ -1,0 +1,110 @@
+#include "sampler.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace psm::cf
+{
+
+Sampler::Sampler(const power::PlatformConfig &config,
+                 SamplingStrategy strategy)
+    : config(config), strategy(strategy)
+{
+    n_freq = config.freqLevels().size();
+    n_cores = config.coreLevels().size();
+    n_dram = config.dramLevels().size();
+    n_cols = n_freq * n_cores * n_dram;
+
+    // The eight corners of the (f, n, m) box, de-duplicated in case an
+    // axis has a single level.
+    for (std::size_t f : {std::size_t{0}, n_freq - 1})
+        for (std::size_t n : {std::size_t{0}, n_cores - 1})
+            for (std::size_t m : {std::size_t{0}, n_dram - 1})
+                corner_ix.push_back(columnIndex(f, n, m));
+    std::sort(corner_ix.begin(), corner_ix.end());
+    corner_ix.erase(std::unique(corner_ix.begin(), corner_ix.end()),
+                    corner_ix.end());
+}
+
+std::size_t
+Sampler::columnIndex(std::size_t f, std::size_t n, std::size_t m) const
+{
+    psm_assert(f < n_freq && n < n_cores && m < n_dram);
+    return (f * n_cores + n) * n_dram + m;
+}
+
+std::vector<std::size_t>
+Sampler::select(double fraction, Rng &rng) const
+{
+    psm_assert(fraction > 0.0 && fraction <= 1.0);
+    auto budget = static_cast<std::size_t>(
+        std::ceil(fraction * static_cast<double>(n_cols)));
+    budget = std::max(budget, corner_ix.size());
+
+    std::vector<std::size_t> chosen = corner_ix;
+    std::vector<char> taken(n_cols, 0);
+    for (std::size_t c : chosen)
+        taken[c] = 1;
+
+    if (strategy == SamplingStrategy::Random) {
+        while (chosen.size() < budget) {
+            auto c = static_cast<std::size_t>(rng.uniformInt(
+                0, static_cast<int>(n_cols) - 1));
+            if (!taken[c]) {
+                taken[c] = 1;
+                chosen.push_back(c);
+            }
+        }
+    } else {
+        // Stratified: round-robin the three axes, drawing the free
+        // coordinates uniformly, so every axis level gets coverage
+        // even at low budgets.
+        std::size_t axis = 0;
+        std::size_t guard = 0;
+        std::size_t next_f = 0, next_n = 0, next_m = 0;
+        while (chosen.size() < budget && guard < n_cols * 64) {
+            ++guard;
+            std::size_t f, n, m;
+            if (axis == 0) {
+                f = next_f++ % n_freq;
+                n = static_cast<std::size_t>(rng.uniformInt(
+                    0, static_cast<int>(n_cores) - 1));
+                m = static_cast<std::size_t>(rng.uniformInt(
+                    0, static_cast<int>(n_dram) - 1));
+            } else if (axis == 1) {
+                n = next_n++ % n_cores;
+                f = static_cast<std::size_t>(rng.uniformInt(
+                    0, static_cast<int>(n_freq) - 1));
+                m = static_cast<std::size_t>(rng.uniformInt(
+                    0, static_cast<int>(n_dram) - 1));
+            } else {
+                m = next_m++ % n_dram;
+                f = static_cast<std::size_t>(rng.uniformInt(
+                    0, static_cast<int>(n_freq) - 1));
+                n = static_cast<std::size_t>(rng.uniformInt(
+                    0, static_cast<int>(n_cores) - 1));
+            }
+            axis = (axis + 1) % 3;
+            std::size_t c = columnIndex(f, n, m);
+            if (!taken[c]) {
+                taken[c] = 1;
+                chosen.push_back(c);
+            }
+        }
+        // Fall back to a scan if collisions starved the loop.
+        for (std::size_t c = 0; chosen.size() < budget && c < n_cols;
+             ++c) {
+            if (!taken[c]) {
+                taken[c] = 1;
+                chosen.push_back(c);
+            }
+        }
+    }
+
+    std::sort(chosen.begin(), chosen.end());
+    return chosen;
+}
+
+} // namespace psm::cf

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Online sampling strategies: which knob settings to actually measure
+ * when a new application arrives (Section III-A's "sparse sampling").
+ *
+ * Measuring all 432 settings of (f, n, m) would take minutes per
+ * application; the paper instead measures a small fraction online and
+ * lets collaborative filtering fill in the rest.  The strategy always
+ * measures a fixed set of anchor settings (the knob-space corners)
+ * because the factorization extrapolates poorly outside the sampled
+ * envelope, then spreads the remaining budget uniformly or stratified
+ * across the three knob axes.
+ */
+
+#ifndef PSM_CF_SAMPLER_HH
+#define PSM_CF_SAMPLER_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "power/platform.hh"
+#include "util/random.hh"
+
+namespace psm::cf
+{
+
+/** How the non-anchor sampling budget is spread. */
+enum class SamplingStrategy
+{
+    Random,     ///< uniform over all settings
+    Stratified, ///< balanced across the f, n and m axes
+};
+
+/**
+ * Selects knob-space column indices to measure.
+ */
+class Sampler
+{
+  public:
+    /**
+     * @param config Platform whose knobSpace() defines the columns.
+     * @param strategy Spreading strategy for the non-anchor budget.
+     */
+    explicit Sampler(const power::PlatformConfig &config,
+                     SamplingStrategy strategy =
+                         SamplingStrategy::Stratified);
+
+    /**
+     * Pick the columns to measure.
+     *
+     * @param fraction Fraction of the knob space to measure, in
+     *        (0, 1]; the anchors count toward the budget.
+     * @param rng Randomness source.
+     * @return Sorted, de-duplicated column indices.
+     */
+    std::vector<std::size_t> select(double fraction, Rng &rng) const;
+
+    /** The always-measured anchor columns (knob-space corners). */
+    const std::vector<std::size_t> &anchors() const { return corner_ix; }
+
+    /** Total number of knob-space columns. */
+    std::size_t columnCount() const { return n_cols; }
+
+  private:
+    const power::PlatformConfig &config;
+    SamplingStrategy strategy;
+    std::size_t n_cols;
+    std::size_t n_freq;
+    std::size_t n_cores;
+    std::size_t n_dram;
+    std::vector<std::size_t> corner_ix;
+
+    std::size_t columnIndex(std::size_t f, std::size_t n,
+                            std::size_t m) const;
+};
+
+} // namespace psm::cf
+
+#endif // PSM_CF_SAMPLER_HH

@@ -1,0 +1,175 @@
+#include "power_trace.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace psm::cluster
+{
+
+Watts
+PowerTrace::at(Tick t) const
+{
+    psm_assert(!values.empty() && interval > 0);
+    std::size_t ix = static_cast<std::size_t>(t / interval);
+    ix = std::min(ix, values.size() - 1);
+    return values[ix];
+}
+
+Tick
+PowerTrace::duration() const
+{
+    return interval * static_cast<Tick>(values.size());
+}
+
+Watts
+PowerTrace::peak() const
+{
+    psm_assert(!values.empty());
+    return *std::max_element(values.begin(), values.end());
+}
+
+Watts
+PowerTrace::mean() const
+{
+    psm_assert(!values.empty());
+    double sum = 0.0;
+    for (Watts v : values)
+        sum += v;
+    return sum / static_cast<double>(values.size());
+}
+
+PowerTrace
+generateDiurnalDemand(const TraceConfig &config)
+{
+    psm_assert(config.points >= 2);
+    psm_assert(config.peak > config.floor && config.floor > 0.0);
+
+    Rng rng(config.seed);
+    PowerTrace trace;
+    trace.interval = config.interval;
+    trace.values.reserve(config.points);
+
+    double n = static_cast<double>(config.points);
+    for (std::size_t i = 0; i < config.points; ++i) {
+        double day = static_cast<double>(i) / n; // 0..1 over the day
+        // Base diurnal: low overnight, high during working hours.
+        double base = 0.5 - 0.5 * std::cos(2.0 * M_PI * day);
+        // Double hump: morning and evening activity peaks.
+        double hump = 0.15 * std::exp(-50.0 * (day - 0.40) *
+                                      (day - 0.40)) +
+                      0.20 * std::exp(-50.0 * (day - 0.80) *
+                                      (day - 0.80));
+        double shape = std::min(base + hump, 1.0);
+        Watts demand = config.floor +
+                       (config.peak - config.floor) * shape;
+        demand *= 1.0 + rng.gaussian(0.0, config.noise);
+        trace.values.push_back(std::clamp(demand, config.floor * 0.8,
+                                          config.peak * 1.05));
+    }
+    return trace;
+}
+
+PowerTrace
+peakShavingCaps(const PowerTrace &demand, double shave)
+{
+    psm_assert(shave >= 0.0 && shave < 1.0);
+    PowerTrace caps;
+    caps.interval = demand.interval;
+    Watts ceiling = demand.peak() * (1.0 - shave);
+    caps.values.reserve(demand.values.size());
+    for (Watts v : demand.values)
+        caps.values.push_back(std::min(v, ceiling));
+    return caps;
+}
+
+void
+saveTraceCsv(const PowerTrace &trace, const std::string &path)
+{
+    psm_assert(!trace.values.empty() && trace.interval > 0);
+    std::ofstream out(path);
+    if (!out)
+        fatal("cannot write trace to '%s'", path.c_str());
+    out.precision(12);
+    out << "seconds,watts\n";
+    for (std::size_t i = 0; i < trace.values.size(); ++i) {
+        out << toSeconds(static_cast<Tick>(i) * trace.interval) << ','
+            << trace.values[i] << '\n';
+    }
+    if (!out)
+        fatal("short write to '%s'", path.c_str());
+}
+
+PowerTrace
+loadTraceCsv(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        fatal("cannot read trace from '%s'", path.c_str());
+
+    PowerTrace trace;
+    std::string line;
+    std::vector<double> seconds;
+    bool first = true;
+    while (std::getline(in, line)) {
+        if (line.empty())
+            continue;
+        if (first) {
+            first = false;
+            // Skip a header row if present.
+            if (line.find_first_not_of("0123456789.,+-eE \t") !=
+                std::string::npos) {
+                continue;
+            }
+        }
+        std::istringstream row(line);
+        double t = 0.0, w = 0.0;
+        char comma = 0;
+        if (!(row >> t >> comma >> w) || comma != ',')
+            fatal("malformed trace row '%s' in '%s'", line.c_str(),
+                  path.c_str());
+        seconds.push_back(t);
+        trace.values.push_back(w);
+    }
+    if (trace.values.size() < 2)
+        fatal("trace '%s' needs at least two points", path.c_str());
+
+    double step = seconds[1] - seconds[0];
+    if (step <= 0.0)
+        fatal("trace '%s' timestamps must increase", path.c_str());
+    for (std::size_t i = 1; i < seconds.size(); ++i) {
+        if (std::abs((seconds[i] - seconds[i - 1]) - step) >
+            1e-6 * step) {
+            fatal("trace '%s' is not uniformly spaced at row %zu",
+                  path.c_str(), i);
+        }
+    }
+    trace.interval = toTicks(step);
+    return trace;
+}
+
+PowerTrace
+loadFollowingCaps(const PowerTrace &demand, Watts uncapped,
+                  double shave)
+{
+    psm_assert(shave >= 0.0 && shave < 1.0);
+    psm_assert(uncapped > 0.0);
+    Watts peak = demand.peak();
+    Watts low = *std::min_element(demand.values.begin(),
+                                  demand.values.end());
+    psm_assert(peak > low);
+
+    PowerTrace caps;
+    caps.interval = demand.interval;
+    caps.values.reserve(demand.values.size());
+    for (Watts v : demand.values) {
+        double shape = (v - low) / (peak - low);
+        caps.values.push_back(uncapped * (1.0 - shave * shape));
+    }
+    return caps;
+}
+
+} // namespace psm::cluster

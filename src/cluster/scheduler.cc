@@ -1,0 +1,233 @@
+#include "scheduler.hh"
+
+#include <algorithm>
+
+#include "perf/perf_model.hh"
+#include "perf/workloads.hh"
+#include "util/logging.hh"
+#include "util/stats.hh"
+
+namespace psm::cluster
+{
+
+std::string
+placementPolicyName(PlacementPolicy policy)
+{
+    switch (policy) {
+      case PlacementPolicy::FirstFit:
+        return "FirstFit";
+      case PlacementPolicy::PowerHeadroom:
+        return "PowerHeadroom";
+      default:
+        panic("invalid PlacementPolicy %d", static_cast<int>(policy));
+    }
+}
+
+ClusterScheduler::ClusterScheduler(SchedulerConfig config)
+    : cfg(std::move(config)), rng(cfg.seed)
+{
+    psm_assert(cfg.servers >= 1);
+    psm_assert(cfg.serverCap > 0.0);
+    for (int s = 0; s < cfg.servers; ++s) {
+        Node node;
+        node.server = std::make_unique<sim::Server>();
+        node.server->setCap(cfg.serverCap);
+        core::ManagerConfig mc = cfg.manager;
+        mc.seed = cfg.seed + static_cast<std::uint64_t>(s) + 1;
+        node.manager = std::make_unique<core::ServerManager>(
+            *node.server, mc);
+        node.manager->seedCorpus(perf::workloadLibrary());
+        nodes.push_back(std::move(node));
+    }
+}
+
+void
+ClusterScheduler::submit(Job job)
+{
+    psm_assert(job_list.empty() ||
+               job.arrival >= job_list.back().arrival);
+    job_list.push_back(std::move(job));
+}
+
+void
+ClusterScheduler::generateWorkload(std::size_t count,
+                                   double mean_interarrival_s,
+                                   double mean_seconds)
+{
+    psm_assert(mean_interarrival_s > 0.0 && mean_seconds > 0.0);
+    const auto &library = perf::workloadLibrary();
+    double arrival_s = 0.0;
+    for (std::size_t i = 0; i < count; ++i) {
+        Job job;
+        job.profile = library[static_cast<std::size_t>(rng.uniformInt(
+            0, static_cast<int>(library.size()) - 1))];
+        // Size to ~mean_seconds of uncapped runtime (exponential).
+        perf::PerfModel model(power::defaultPlatform(), job.profile);
+        double seconds = std::max(
+            rng.exponential(1.0 / mean_seconds), mean_seconds / 10.0);
+        job.profile.totalHeartbeats = seconds * model.maxHbRate();
+        job.arrival = toTicks(arrival_s);
+        arrival_s += rng.exponential(1.0 / mean_interarrival_s);
+        submit(std::move(job));
+    }
+}
+
+int
+ClusterScheduler::pickServer() const
+{
+    int best = -1;
+    double best_headroom = -1.0;
+    for (int s = 0; s < cfg.servers; ++s) {
+        const Node &node = nodes[static_cast<std::size_t>(s)];
+        if (node.server->freeSockets() == 0)
+            continue;
+        if (cfg.placement == PlacementPolicy::FirstFit)
+            return s;
+        double headroom = node.server->cap() -
+                          node.server->observedServerPower();
+        if (headroom > best_headroom) {
+            best_headroom = headroom;
+            best = s;
+        }
+    }
+    return best;
+}
+
+void
+ClusterScheduler::placeWaitingJobs()
+{
+    while (!queue.empty()) {
+        int target = pickServer();
+        if (target < 0)
+            return; // every socket busy; keep queueing
+        std::size_t job_ix = queue.front();
+        queue.erase(queue.begin());
+        Job &job = job_list[job_ix];
+        Node &node = nodes[static_cast<std::size_t>(target)];
+
+        // Two instances of the same workload cannot share a server
+        // (names must be unique per server); retarget if needed.
+        bool clash = false;
+        for (const sim::Application *app : node.server->apps())
+            clash |= app->name() == job.profile.name;
+        if (clash) {
+            int other = -1;
+            for (int s = 0; s < cfg.servers && other < 0; ++s) {
+                Node &cand = nodes[static_cast<std::size_t>(s)];
+                if (cand.server->freeSockets() == 0)
+                    continue;
+                bool also_clash = false;
+                for (const sim::Application *app :
+                     cand.server->apps()) {
+                    also_clash |= app->name() == job.profile.name;
+                }
+                if (!also_clash)
+                    other = s;
+            }
+            if (other < 0) {
+                // Nowhere legal right now; try again later.
+                queue.insert(queue.begin(), job_ix);
+                return;
+            }
+            target = other;
+        }
+
+        Node &host = nodes[static_cast<std::size_t>(target)];
+        int app_id = host.manager->addApp(job.profile);
+        host.placed.emplace_back(job_ix, app_id);
+        job.started = clock;
+        job.server = target;
+    }
+}
+
+void
+ClusterScheduler::harvestFinished()
+{
+    for (auto &node : nodes) {
+        for (auto it = node.placed.begin();
+             it != node.placed.end();) {
+            auto [job_ix, app_id] = *it;
+            bool finished = true;
+            for (const auto &rec : node.manager->records()) {
+                if (rec.id == app_id)
+                    finished = rec.done;
+            }
+            if (finished) {
+                job_list[job_ix].finished = clock;
+                it = node.placed.erase(it);
+            } else {
+                ++it;
+            }
+        }
+    }
+}
+
+void
+ClusterScheduler::run(Tick horizon)
+{
+    Tick end = clock + horizon;
+    std::size_t next_arrival = 0;
+    const Tick slice = toTicks(1.0);
+
+    while (clock < end) {
+        while (next_arrival < job_list.size() &&
+               job_list[next_arrival].arrival <= clock) {
+            queue.push_back(next_arrival++);
+        }
+        placeWaitingJobs();
+
+        for (auto &node : nodes)
+            node.manager->run(slice);
+        clock += slice;
+        harvestFinished();
+
+        bool all_done = next_arrival == job_list.size() &&
+                        queue.empty();
+        for (const auto &node : nodes)
+            all_done &= node.placed.empty();
+        if (all_done)
+            return;
+    }
+}
+
+std::size_t
+ClusterScheduler::unfinished() const
+{
+    std::size_t n = 0;
+    for (const auto &job : job_list)
+        n += !job.done();
+    return n;
+}
+
+double
+ClusterScheduler::meanCompletionSeconds() const
+{
+    std::vector<double> times;
+    for (const auto &job : job_list)
+        if (job.done())
+            times.push_back(toSeconds(job.completionTime()));
+    return meanOf(times);
+}
+
+double
+ClusterScheduler::p95CompletionSeconds() const
+{
+    std::vector<double> times;
+    for (const auto &job : job_list)
+        if (job.done())
+            times.push_back(toSeconds(job.completionTime()));
+    return percentileOf(std::move(times), 95.0);
+}
+
+Watts
+ClusterScheduler::averageClusterPower() const
+{
+    Joules total = 0.0;
+    for (const auto &node : nodes)
+        total += node.server->meter().totalEnergy();
+    if (clock == 0)
+        return 0.0;
+    return total / toSeconds(clock);
+}
+
+} // namespace psm::cluster

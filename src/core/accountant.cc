@@ -1,0 +1,125 @@
+#include "accountant.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace psm::core
+{
+
+std::string
+eventKindName(EventKind kind)
+{
+    switch (kind) {
+      case EventKind::CapChange:
+        return "E1-cap-change";
+      case EventKind::Arrival:
+        return "E2-arrival";
+      case EventKind::Departure:
+        return "E3-departure";
+      case EventKind::Drift:
+        return "E4-drift";
+      default:
+        panic("invalid EventKind %d", static_cast<int>(kind));
+    }
+}
+
+Accountant::Accountant(AccountantConfig config) : cfg(config)
+{
+    psm_assert(cfg.driftThreshold > 0.0);
+}
+
+void
+Accountant::notifyCapChange(Watts new_cap)
+{
+    AccountantEvent ev;
+    ev.kind = EventKind::CapChange;
+    ev.newCap = new_cap;
+    queued.push_back(ev);
+}
+
+void
+Accountant::notifyArrival(int app_id)
+{
+    AccountantEvent ev;
+    ev.kind = EventKind::Arrival;
+    ev.appId = app_id;
+    queued.push_back(ev);
+    tracked.emplace(app_id, TrackedApp{});
+}
+
+void
+Accountant::setAllocatedPower(int app_id, Watts budget)
+{
+    auto it = tracked.find(app_id);
+    if (it == tracked.end())
+        it = tracked.emplace(app_id, TrackedApp{}).first;
+    it->second.allocated = budget;
+    it->second.drift_since = maxTick;
+}
+
+void
+Accountant::forget(int app_id)
+{
+    tracked.erase(app_id);
+}
+
+std::vector<AccountantEvent>
+Accountant::poll(const sim::Server &server)
+{
+    Tick now = server.now();
+    std::vector<AccountantEvent> events = std::move(queued);
+    queued.clear();
+    for (auto &ev : events)
+        ev.when = now;
+
+    for (auto &[id, state] : tracked) {
+        if (!server.hasApp(id))
+            continue;
+        const sim::Application &app = server.app(id);
+
+        // E3: completion.
+        if (app.finished()) {
+            if (!state.reported_finished) {
+                state.reported_finished = true;
+                AccountantEvent ev;
+                ev.kind = EventKind::Departure;
+                ev.when = now;
+                ev.appId = id;
+                events.push_back(ev);
+            }
+            continue;
+        }
+
+        // E4: sustained deviation of observed draw from allocation.
+        if (!drift_enabled || state.allocated <= 0.0 ||
+            !app.running()) {
+            state.drift_since = maxTick;
+            continue;
+        }
+        Watts observed = server.observedAppPower(id);
+        double deviation = std::abs(observed - state.allocated) /
+                           state.allocated;
+        if (deviation > cfg.driftThreshold) {
+            if (state.drift_since == maxTick)
+                state.drift_since = now;
+            bool held = now - state.drift_since >= cfg.driftHold;
+            bool cooled =
+                now - state.last_drift_event >= cfg.driftCooldown;
+            if (held && cooled) {
+                AccountantEvent ev;
+                ev.kind = EventKind::Drift;
+                ev.when = now;
+                ev.appId = id;
+                events.push_back(ev);
+                state.last_drift_event = now;
+                state.drift_since = maxTick;
+            }
+        } else {
+            state.drift_since = maxTick;
+        }
+    }
+    return events;
+}
+
+} // namespace psm::core

@@ -1,0 +1,229 @@
+#include "coordinator.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace psm::core
+{
+
+std::string
+coordinationModeName(CoordinationMode mode)
+{
+    switch (mode) {
+      case CoordinationMode::Idle:
+        return "idle";
+      case CoordinationMode::Space:
+        return "space";
+      case CoordinationMode::Time:
+        return "time";
+      case CoordinationMode::EsdAssisted:
+        return "esd";
+      default:
+        panic("invalid CoordinationMode %d", static_cast<int>(mode));
+    }
+}
+
+Coordinator::Coordinator(CoordinatorConfig config) : cfg(config)
+{
+    psm_assert(cfg.dutyPeriod > 0);
+    psm_assert(cfg.socFloor >= 0.0 && cfg.socFloor < 1.0);
+}
+
+void
+Coordinator::applyDirective(sim::Server &server, const Directive &d,
+                            bool run)
+{
+    if (!server.hasApp(d.appId))
+        return;
+    sim::Application &app = server.app(d.appId);
+    if (run) {
+        if (d.useRapl) {
+            // RAPL enforcement: knobs carry the DRAM domain limit
+            // (m); core power is held down by the package limit's
+            // frequency throttling.
+            app.setKnobs(d.knobs);
+            server.setPackageLimit(app.socket(),
+                                   std::max(d.packageLimit, 0.5));
+        } else {
+            server.clearPackageLimit(app.socket());
+            app.setKnobs(d.knobs);
+        }
+        app.resume(server.now());
+    } else {
+        app.suspend(server.now());
+    }
+}
+
+void
+Coordinator::suspendAll(sim::Server &server)
+{
+    for (sim::Application *app : server.activeApps())
+        app->suspend(server.now());
+}
+
+void
+Coordinator::idle(sim::Server &server)
+{
+    current_mode = CoordinationMode::Idle;
+    suspendAll(server);
+    server.setEsdChargeEnabled(false);
+}
+
+void
+Coordinator::coordinateSpace(sim::Server &server,
+                             const std::vector<Directive> &directives)
+{
+    current_mode = CoordinationMode::Space;
+    server.setEsdChargeEnabled(false);
+    for (const Directive &d : directives)
+        applyDirective(server, d, true);
+}
+
+void
+Coordinator::coordinateTime(sim::Server &server,
+                            std::vector<Directive> directives,
+                            std::vector<double> shares)
+{
+    psm_assert(directives.size() == shares.size());
+    psm_assert(!directives.empty());
+    double total = 0.0;
+    for (double s : shares) {
+        psm_assert(s >= 0.0);
+        total += s;
+    }
+    psm_assert(std::abs(total - 1.0) < 1e-6);
+
+    // Re-planning over the same application set updates the
+    // directives and shares in place without resetting the rotation,
+    // so steady-state refreshes cannot starve later slots.
+    bool same_apps = current_mode == CoordinationMode::Time &&
+                     slots.size() == directives.size();
+    if (same_apps) {
+        for (std::size_t i = 0; i < slots.size(); ++i)
+            same_apps &= slots[i].appId == directives[i].appId;
+    }
+
+    current_mode = CoordinationMode::Time;
+    server.setEsdChargeEnabled(false);
+    slots = std::move(directives);
+    slot_shares = std::move(shares);
+    if (same_apps && slot_ix < slots.size()) {
+        // Refresh the currently running slot's enforcement only.
+        applyDirective(server, slots[slot_ix], true);
+        return;
+    }
+    slot_ix = 0;
+    slot_started = server.now();
+
+    // Start the first slot, suspend the rest.
+    for (std::size_t i = 0; i < slots.size(); ++i)
+        applyDirective(server, slots[i], i == slot_ix);
+}
+
+void
+Coordinator::coordinateEsd(sim::Server &server,
+                           std::vector<Directive> directives,
+                           double off_fraction)
+{
+    psm_assert(!directives.empty());
+    psm_assert(off_fraction >= 0.0 && off_fraction < 1.0);
+    psm_assert(server.hasEsd());
+
+    current_mode = CoordinationMode::EsdAssisted;
+    esd_directives = std::move(directives);
+    esd_off_fraction = off_fraction;
+    esd_phase_started = server.now();
+
+    // Begin with a charge phase unless the battery is already full
+    // or no OFF time is needed.
+    const esd::Battery *bat = server.battery();
+    esd_charging = off_fraction > 0.0 && !bat->full();
+    if (esd_charging) {
+        suspendAll(server);
+        server.setEsdChargeEnabled(true);
+    } else {
+        server.setEsdChargeEnabled(false);
+        for (const Directive &d : esd_directives)
+            applyDirective(server, d, true);
+    }
+}
+
+Tick
+Coordinator::slotLength(std::size_t ix) const
+{
+    psm_assert(ix < slot_shares.size());
+    return static_cast<Tick>(slot_shares[ix] *
+                             static_cast<double>(cfg.dutyPeriod));
+}
+
+int
+Coordinator::activeSlot() const
+{
+    if (current_mode != CoordinationMode::Time)
+        return -1;
+    return static_cast<int>(slot_ix);
+}
+
+void
+Coordinator::advance(sim::Server &server)
+{
+    Tick now = server.now();
+    switch (current_mode) {
+      case CoordinationMode::Idle:
+      case CoordinationMode::Space:
+        return;
+
+      case CoordinationMode::Time: {
+        if (slots.empty())
+            return;
+        // Skip zero-length slots defensively.
+        std::size_t guard = 0;
+        while (now - slot_started >= slotLength(slot_ix) &&
+               guard++ <= slots.size()) {
+            applyDirective(server, slots[slot_ix], false);
+            slot_started = now;
+            slot_ix = (slot_ix + 1) % slots.size();
+            applyDirective(server, slots[slot_ix], true);
+            if (slotLength(slot_ix) > 0)
+                break;
+        }
+        return;
+      }
+
+      case CoordinationMode::EsdAssisted: {
+        const esd::Battery *bat = server.battery();
+        psm_assert(bat != nullptr);
+        Tick off_len = static_cast<Tick>(
+            esd_off_fraction * static_cast<double>(cfg.dutyPeriod));
+        Tick on_len = cfg.dutyPeriod - off_len;
+        Tick elapsed = now - esd_phase_started;
+
+        if (esd_charging) {
+            // Leave the charge phase when its time is up or the
+            // battery cannot absorb more.
+            if (elapsed >= off_len || bat->full()) {
+                esd_charging = false;
+                esd_phase_started = now;
+                server.setEsdChargeEnabled(false);
+                for (const Directive &d : esd_directives)
+                    applyDirective(server, d, true);
+            }
+        } else {
+            // Leave the ON phase when its time is up or the battery
+            // hit its floor (it can no longer bridge the deficit).
+            bool drained = bat->soc() <= cfg.socFloor;
+            if ((off_len > 0 && elapsed >= on_len) || drained) {
+                esd_charging = true;
+                esd_phase_started = now;
+                suspendAll(server);
+                server.setEsdChargeEnabled(true);
+            }
+        }
+        return;
+      }
+    }
+}
+
+} // namespace psm::core

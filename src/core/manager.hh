@@ -1,0 +1,242 @@
+/**
+ * @file
+ * The ServerManager: the paper's complete per-server framework
+ * (Fig. 6) assembled around one simulated server.
+ *
+ * It owns the learning pipeline (Profiler -> Sampler ->
+ * UtilityEstimator), the PowerAllocator, the Coordinator and the
+ * Accountant, and drives the control loop: poll, react to events
+ * E1-E4, re-allocate, actuate.  The policy (PolicyKind) selects how
+ * much information each stage is allowed to use, producing the
+ * baselines and schemes compared in Figs. 8 and 10.
+ */
+
+#ifndef PSM_CORE_MANAGER_HH
+#define PSM_CORE_MANAGER_HH
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "accountant.hh"
+#include "cf/cross_validation.hh"
+#include "cf/estimator.hh"
+#include "cf/profiler.hh"
+#include "cf/sampler.hh"
+#include "coordinator.hh"
+#include "policy.hh"
+#include "power_allocator.hh"
+#include "sim/server.hh"
+#include "utility_curve.hh"
+#include "util/random.hh"
+#include "util/units.hh"
+
+namespace psm::core
+{
+
+/** Configuration of the per-server management framework. */
+struct ManagerConfig
+{
+    PolicyKind policy = PolicyKind::AppResAware;
+
+    /** Fraction of knob settings measured online (Fig. 7's 10%). */
+    double sampleFraction = 0.10;
+    /** Use exhaustive ground-truth utilities instead of CF. */
+    bool oracleUtilities = false;
+    /** Relative measurement noise of online profiling. */
+    double measurementNoise = 0.02;
+    /** Wall-clock cost of measuring one knob setting online. */
+    Tick calibrationPerSample = toTicks(0.018);
+
+    /** Accountant poll / decision period. */
+    Tick controlPeriod = toTicks(0.1);
+
+    /**
+     * Guard band: fraction of the dynamic budget withheld to absorb
+     * utility-estimation error, so CF under-prediction does not turn
+     * straight into cap overshoot.
+     */
+    double budgetGuard = 0.02;
+    /** Gain of the integral cap-adherence trim loop. */
+    double trimGain = 0.5;
+    /** Spatial-mode steady-state refresh period (RAPL limit and trim
+     * updates without a triggering event). */
+    Tick refreshPeriod = toTicks(0.5);
+
+    CoordinatorConfig coordinator;
+    AllocatorConfig allocator;
+    cf::AlsConfig als;
+    cf::SamplingStrategy sampling = cf::SamplingStrategy::Stratified;
+    AccountantConfig accountant;
+    std::uint64_t seed = 7;
+};
+
+/** Per-application accounting kept by the manager for reporting. */
+struct AppRecord
+{
+    int id = -1;
+    std::string name;
+    Tick admitted = 0;
+    Tick finishedAt = maxTick; ///< maxTick while still running
+    double beats = 0.0;        ///< heartbeats completed so far
+    double uncappedRate = 0.0; ///< heartbeat rate with no cap
+    bool done = false;
+
+    /**
+     * Throughput normalized to uncapped execution over the app's
+     * lifetime so far (the paper's per-app metric).
+     */
+    double normalizedPerf(Tick now) const;
+};
+
+/**
+ * The management framework for one server.
+ */
+class ServerManager
+{
+  public:
+    /**
+     * @param server The server to manage; must outlive the manager.
+     */
+    ServerManager(sim::Server &server, ManagerConfig config = {});
+
+    const ManagerConfig &config() const { return cfg; }
+    sim::Server &server() { return srv; }
+    const sim::Server &server() const { return srv; }
+    const Coordinator &coordinator() const { return coord; }
+    CoordinationMode mode() const { return coord.mode(); }
+
+    /**
+     * Seed the collaborative filtering corpus with exhaustively
+     * profiled applications ("previously seen applications" in
+     * Section III-A).  When later estimating an application that is
+     * itself in the corpus, its own row is excluded (leave-one-out).
+     */
+    void seedCorpus(const std::vector<perf::AppProfile> &profiles);
+
+    /**
+     * Admit an application (event E2).  Calibration, if the policy
+     * needs it, runs online and charges its wall-clock overhead; the
+     * first utility-aware allocation lands once calibration is done.
+     *
+     * @return The application id.
+     */
+    int addApp(const perf::AppProfile &profile);
+
+    /** Change the server cap (event E1; applied at the next poll). */
+    void setCap(Watts cap);
+
+    /** Drive the managed server forward. */
+    void run(Tick duration);
+
+    /** Convenience: run until all admitted apps finish (bounded). */
+    void runUntilAllDone(Tick max_duration);
+
+    // --- Reporting ----------------------------------------------------
+
+    /** Records for every app ever admitted, in admission order. */
+    std::vector<AppRecord> records() const;
+
+    /** True while any admitted app is unfinished. */
+    bool anyAppRunning() const;
+
+    /**
+     * Mean normalized throughput across all admitted applications —
+     * the per-mix bar of Figs. 8a and 10.
+     */
+    double serverNormalizedThroughput() const;
+
+    /** Latest spatial allocation (empty before the first one). */
+    const Allocation &lastAllocation() const { return last_alloc; }
+
+    /** Wall-clock latency of the most recent reallocation event
+     * (calibration + decision), for the Section IV-C claim. */
+    Tick lastReallocationLatency() const { return last_realloc_latency; }
+
+    /** Total number of reallocations performed. */
+    std::size_t reallocationCount() const { return realloc_count; }
+
+    /** Events seen so far, in order (for tests and the dynamics
+     * figure). */
+    const std::vector<AccountantEvent> &eventLog() const
+    {
+        return event_log;
+    }
+
+  private:
+    sim::Server &srv;
+    ManagerConfig cfg;
+    Rng rng;
+    cf::Profiler profiler;
+    cf::Sampler sampler;
+    PowerAllocator allocator;
+    Coordinator coord;
+    Accountant accountant;
+
+    Allocation last_alloc;
+    Tick last_realloc_latency = 0;
+    std::size_t realloc_count = 0;
+    Tick next_control = 0;
+    Tick next_refresh = 0;
+    Watts cap_trim = 0.0; ///< integral cap-adherence correction
+    Joules last_meter_energy = 0.0;
+    Tick last_meter_time = 0;
+    std::vector<AccountantEvent> event_log;
+
+    /** Corpus kept locally for leave-one-out estimation. */
+    struct CorpusEntry
+    {
+        std::string name;
+        std::vector<double> power;
+        std::vector<double> hbRate;
+    };
+    std::vector<CorpusEntry> corpus;
+    std::optional<UtilityCurve> server_avg_curve;
+
+    struct ManagedApp
+    {
+        AppRecord record;
+        std::optional<cf::UtilitySurface> surface;
+        Tick calibration_ready = maxTick; ///< maxTick = none pending
+        Tick calibration_started = 0;
+        std::vector<std::size_t> pending_cols;
+    };
+    std::map<int, ManagedApp> managed;
+
+    /** Refresh heartbeat counts of live records. */
+    void syncRecords();
+
+    void handleControl();
+    void finishCalibration(int id);
+    void startCalibration(int id);
+    void reallocate();
+    void rebuildServerAverageCurve();
+
+    /** Active, calibrated apps in admission order. */
+    std::vector<int> managedActiveIds() const;
+
+    /** Per-app DRAM demand tracker for demand-following RAPL. */
+    std::map<int, Watts> dram_demand;
+
+    UtilityCurve buildCurve(int id, KnobFreedom freedom) const;
+    Directive directiveFor(int id, const AppAllocation &alloc) const;
+    Directive raplDirective(int id, Watts app_budget);
+    Directive blindRaplDirective(int id, Watts app_budget);
+    Watts dramDemandEstimate(int id);
+
+    void applySpatialUtilityPlan(const std::vector<int> &ids,
+                                 const Allocation &alloc);
+    void applyTemporalUtilityPlan(const std::vector<int> &ids,
+                                  const std::vector<
+                                      const UtilityCurve *> &curves,
+                                  Watts budget);
+    void applyUtilUnaware(const std::vector<int> &ids, Watts budget);
+    void applyServerResAware(const std::vector<int> &ids,
+                             Watts budget);
+};
+
+} // namespace psm::core
+
+#endif // PSM_CORE_MANAGER_HH

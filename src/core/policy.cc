@@ -1,0 +1,61 @@
+#include "policy.hh"
+
+#include "power/core_power.hh"
+#include "util/logging.hh"
+
+namespace psm::core
+{
+
+std::string
+policyName(PolicyKind kind)
+{
+    switch (kind) {
+      case PolicyKind::UtilUnaware:
+        return "Util-Unaware";
+      case PolicyKind::ServerResAware:
+        return "Server+Res-Aware";
+      case PolicyKind::AppAware:
+        return "App-Aware";
+      case PolicyKind::AppResAware:
+        return "App+Res-Aware";
+      case PolicyKind::AppResEsdAware:
+        return "App+Res+ESD-Aware";
+      default:
+        panic("invalid PolicyKind %d", static_cast<int>(kind));
+    }
+}
+
+bool
+policyAppAware(PolicyKind kind)
+{
+    return kind == PolicyKind::AppAware ||
+           kind == PolicyKind::AppResAware ||
+           kind == PolicyKind::AppResEsdAware;
+}
+
+bool
+policyResAware(PolicyKind kind)
+{
+    return kind == PolicyKind::ServerResAware ||
+           kind == PolicyKind::AppResAware ||
+           kind == PolicyKind::AppResEsdAware;
+}
+
+bool
+policyUsesEsd(PolicyKind kind)
+{
+    return kind == PolicyKind::AppResEsdAware;
+}
+
+Watts
+minFeasibleAppPower(const power::PlatformConfig &config)
+{
+    power::CorePowerModel cores(config);
+    // One core at the lowest DVFS state, fully busy, plus the typical
+    // per-app activation overhead and the channel background power.
+    constexpr Watts typical_base = 2.0;
+    return cores.corePower(config.freqMin, 1.0, 1) + typical_base +
+           config.dramPowerMin;
+}
+
+} // namespace psm::core

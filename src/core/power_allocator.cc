@@ -1,0 +1,292 @@
+#include "power_allocator.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace psm::core
+{
+
+bool
+Allocation::allScheduled() const
+{
+    for (const auto &a : apps)
+        if (!a.scheduled())
+            return false;
+    return !apps.empty();
+}
+
+PowerAllocator::PowerAllocator(AllocatorConfig config) : cfg(config)
+{
+    psm_assert(cfg.granularity > 0.0);
+    psm_assert(cfg.shareFloor >= 0.0 && cfg.shareFloor <= 1.0);
+    psm_assert(cfg.esdSearchStep > 0.0);
+}
+
+Allocation
+PowerAllocator::allocate(const std::vector<const UtilityCurve *> &curves,
+                         Watts dynamic_budget) const
+{
+    psm_assert(!curves.empty());
+    psm_assert(dynamic_budget >= 0.0);
+
+    std::size_t k = curves.size();
+
+    // Eq. 1 weighs all applications evenly: whenever the budget can
+    // host every application's cheapest point, reserve those minima
+    // so nobody is starved, and let the DP divide only the headroom.
+    std::vector<Watts> reserve(k, 0.0);
+    Watts reserved_total = 0.0;
+    if (cfg.reserveMinima) {
+        Watts mins = 0.0;
+        for (const auto *c : curves)
+            mins += c->minPower();
+        if (mins <= dynamic_budget) {
+            for (std::size_t i = 0; i < k; ++i)
+                reserve[i] = curves[i]->minPower();
+            reserved_total = mins;
+        }
+    }
+    Watts headroom = dynamic_budget - reserved_total;
+    auto buckets = static_cast<std::size_t>(
+        std::floor(headroom / cfg.granularity));
+
+    // perf[i][b]: best perfNorm app i reaches within its reserve plus
+    // b * granularity.
+    std::vector<std::vector<double>> perf(k);
+    for (std::size_t i = 0; i < k; ++i) {
+        perf[i].resize(buckets + 1);
+        for (std::size_t b = 0; b <= buckets; ++b) {
+            perf[i][b] = curves[i]->perfAt(
+                reserve[i] +
+                static_cast<double>(b) * cfg.granularity);
+        }
+    }
+
+    // Knapsack DP with per-app choice reconstruction.
+    std::vector<double> dp(buckets + 1, 0.0);
+    std::vector<std::vector<std::size_t>> choice(
+        k, std::vector<std::size_t>(buckets + 1, 0));
+    for (std::size_t i = 0; i < k; ++i) {
+        std::vector<double> next(buckets + 1, 0.0);
+        for (std::size_t b = 0; b <= buckets; ++b) {
+            double best = -1.0;
+            std::size_t best_x = 0;
+            for (std::size_t x = 0; x <= b; ++x) {
+                double v = dp[b - x] + perf[i][x];
+                if (v > best) {
+                    best = v;
+                    best_x = x;
+                }
+            }
+            next[b] = best;
+            choice[i][b] = best_x;
+        }
+        dp = std::move(next);
+    }
+
+    // Walk the choices back from the full budget.
+    Allocation alloc;
+    alloc.dynamicBudget = dynamic_budget;
+    alloc.apps.resize(k);
+    std::size_t b = buckets;
+    for (std::size_t ii = k; ii-- > 0;) {
+        std::size_t x = choice[ii][b];
+        Watts granted = reserve[ii] +
+                        static_cast<double>(x) * cfg.granularity;
+        AppAllocation &a = alloc.apps[ii];
+        a.app = curves[ii]->name();
+        a.point = curves[ii]->bestWithin(granted);
+        if (a.point) {
+            a.budget = granted;
+            a.expectedPerf = a.point->perfNorm;
+        }
+        b -= x;
+    }
+
+    distributeSlack(curves, alloc);
+
+    alloc.used = 0.0;
+    alloc.objective = 0.0;
+    for (const auto &a : alloc.apps) {
+        if (a.scheduled()) {
+            alloc.used += a.point->power;
+            alloc.objective += a.expectedPerf;
+        }
+    }
+    return alloc;
+}
+
+void
+PowerAllocator::distributeSlack(
+    const std::vector<const UtilityCurve *> &curves,
+    Allocation &alloc) const
+{
+    // Repeatedly upgrade the application whose next frontier point
+    // fits the remaining slack with the best perf-per-watt gain.
+    for (;;) {
+        Watts used = 0.0;
+        for (const auto &a : alloc.apps)
+            if (a.scheduled())
+                used += a.point->power;
+        Watts slack = alloc.dynamicBudget - used;
+        if (slack <= cfg.granularity / 2.0)
+            return;
+
+        double best_gain = 0.0;
+        std::size_t best_i = alloc.apps.size();
+        std::optional<UtilityPoint> best_point;
+        for (std::size_t i = 0; i < alloc.apps.size(); ++i) {
+            const AppAllocation &a = alloc.apps[i];
+            Watts current = a.scheduled() ? a.point->power : 0.0;
+            double current_perf = a.scheduled() ? a.expectedPerf : 0.0;
+            auto upgraded = curves[i]->bestWithin(current + slack);
+            if (!upgraded || upgraded->power <= current + 1e-9)
+                continue;
+            double gain = (upgraded->perfNorm - current_perf) /
+                          (upgraded->power - current);
+            if (gain > best_gain) {
+                best_gain = gain;
+                best_i = i;
+                best_point = upgraded;
+            }
+        }
+        if (best_i == alloc.apps.size())
+            return;
+        AppAllocation &a = alloc.apps[best_i];
+        a.point = best_point;
+        a.budget = best_point->power;
+        a.expectedPerf = best_point->perfNorm;
+    }
+}
+
+Allocation
+PowerAllocator::equalSplit(
+    const std::vector<const UtilityCurve *> &curves,
+    Watts dynamic_budget) const
+{
+    psm_assert(!curves.empty());
+    Allocation alloc;
+    alloc.dynamicBudget = dynamic_budget;
+    Watts share = dynamic_budget / static_cast<double>(curves.size());
+    for (const auto *curve : curves) {
+        AppAllocation a;
+        a.app = curve->name();
+        a.point = curve->bestWithin(share);
+        if (a.point) {
+            a.budget = share;
+            a.expectedPerf = a.point->perfNorm;
+            alloc.used += a.point->power;
+            alloc.objective += a.expectedPerf;
+        }
+        alloc.apps.push_back(std::move(a));
+    }
+    return alloc;
+}
+
+TemporalPlan
+PowerAllocator::temporalPlan(
+    const std::vector<const UtilityCurve *> &curves, Watts on_budget,
+    ShareMode mode) const
+{
+    TemporalPlan plan;
+    std::vector<std::size_t> runnable;
+    for (std::size_t i = 0; i < curves.size(); ++i) {
+        auto point = curves[i]->bestWithin(on_budget);
+        if (point) {
+            TemporalSlot slot;
+            slot.app = curves[i]->name();
+            slot.point = *point;
+            plan.slots.push_back(std::move(slot));
+            runnable.push_back(i);
+        } else {
+            plan.unschedulable.push_back(curves[i]->name());
+        }
+    }
+    if (plan.slots.empty())
+        return plan;
+
+    if (mode == ShareMode::Equal) {
+        double share = 1.0 / static_cast<double>(plan.slots.size());
+        for (auto &slot : plan.slots)
+            slot.share = share;
+    } else {
+        // Weight by perf-per-watt at the ON point, floored so no
+        // application starves, then normalized.
+        double sum = 0.0;
+        for (auto &slot : plan.slots) {
+            slot.share = slot.point.perfNorm /
+                         std::max(slot.point.power, 1e-9);
+            sum += slot.share;
+        }
+        double floor_share =
+            cfg.shareFloor / static_cast<double>(plan.slots.size());
+        double total = 0.0;
+        for (auto &slot : plan.slots) {
+            slot.share = std::max(slot.share / sum, floor_share);
+            total += slot.share;
+        }
+        for (auto &slot : plan.slots)
+            slot.share /= total;
+    }
+
+    for (const auto &slot : plan.slots)
+        plan.objective += slot.share * slot.point.perfNorm;
+    return plan;
+}
+
+EsdPlan
+PowerAllocator::esdPlan(const std::vector<const UtilityCurve *> &curves,
+                        Watts idle_power, Watts cm_power, Watts cap,
+                        const esd::BatteryConfig &esd) const
+{
+    EsdPlan best;
+    if (cap <= idle_power)
+        return best; // no headroom to ever charge
+
+    Watts charge = std::min(cap - idle_power, esd.maxChargePower);
+    double eta = esd.roundTripEfficiency();
+
+    // Candidate ON-period dynamic budgets: from the cheapest joint
+    // operating point up to everyone flat out.
+    Watts lo = 0.0;
+    Watts hi = 0.0;
+    for (const auto *c : curves) {
+        lo += c->minPower();
+        hi += c->maxPower();
+    }
+
+    for (Watts budget = lo; budget <= hi + 1e-9;
+         budget += cfg.esdSearchStep) {
+        Allocation alloc = allocate(curves, budget);
+        if (!alloc.allScheduled())
+            continue;
+        Watts on_draw = idle_power + cm_power + alloc.used;
+        Watts deficit = on_draw - cap;
+        double on_fraction;
+        if (deficit <= 0.0) {
+            // Fits under the cap outright; no OFF period needed.
+            on_fraction = 1.0;
+            deficit = 0.0;
+        } else {
+            if (deficit > esd.maxDischargePower)
+                continue; // battery cannot bridge this draw
+            // Eq. 5: off/on = deficit / (eta * charge headroom).
+            double off_over_on = deficit / (eta * charge);
+            on_fraction = 1.0 / (1.0 + off_over_on);
+        }
+        double objective = on_fraction * alloc.objective;
+        if (objective > best.objective) {
+            best.onAllocation = std::move(alloc);
+            best.offFraction = 1.0 - on_fraction;
+            best.deficit = deficit;
+            best.chargePower = charge;
+            best.objective = objective;
+            best.viable = true;
+        }
+    }
+    return best;
+}
+
+} // namespace psm::core

@@ -1,0 +1,168 @@
+/**
+ * @file
+ * The PowerAllocator: apportions the server's dynamic power budget
+ * across applications (R1) and, through each application's utility
+ * frontier, across its direct resources (R2) — the optimization of
+ * Eq. 1 subject to Eq. 2.
+ *
+ * Allocation is a discrete knapsack over per-application Pareto
+ * frontiers, solved by dynamic programming at sub-watt granularity,
+ * followed by a greedy pass that hands any slack to the application
+ * with the best marginal utility.
+ *
+ * Besides the spatial allocation it also produces the two temporal
+ * plans the Coordinator needs: alternate duty-cycle slots (R3b) and
+ * the ESD-assisted consolidated plan with the Eq. 5 duty ratio (R4).
+ */
+
+#ifndef PSM_CORE_POWER_ALLOCATOR_HH
+#define PSM_CORE_POWER_ALLOCATOR_HH
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "esd/battery.hh"
+#include "power/platform.hh"
+#include "utility_curve.hh"
+#include "util/units.hh"
+
+namespace psm::core
+{
+
+/** The allocator's verdict for one application. */
+struct AppAllocation
+{
+    std::string app;       ///< application name
+    Watts budget = 0.0;    ///< granted power budget P_X
+    /** Chosen operating point; nullopt when the app got nothing. */
+    std::optional<UtilityPoint> point;
+    double expectedPerf = 0.0; ///< perfNorm the point should deliver
+
+    bool scheduled() const { return point.has_value(); }
+};
+
+/** A complete spatial allocation. */
+struct Allocation
+{
+    std::vector<AppAllocation> apps;
+    Watts dynamicBudget = 0.0; ///< budget that was divided
+    Watts used = 0.0;          ///< sum of granted app power
+    double objective = 0.0;    ///< sum of expected perfNorm (Eq. 1)
+
+    /** True when every application received a feasible point. */
+    bool allScheduled() const;
+};
+
+/** One application's slot in an alternate duty-cycle schedule. */
+struct TemporalSlot
+{
+    std::string app;
+    UtilityPoint point;  ///< operating point during the ON period
+    double share = 0.0;  ///< fraction of wall-clock time ON
+};
+
+/** A temporal (alternate duty-cycling) plan. */
+struct TemporalPlan
+{
+    std::vector<TemporalSlot> slots;
+    double objective = 0.0; ///< sum share * perfNorm
+    /** Apps that cannot run even alone within the budget. */
+    std::vector<std::string> unschedulable;
+};
+
+/** An ESD-assisted consolidated duty-cycle plan (R4). */
+struct EsdPlan
+{
+    Allocation onAllocation; ///< spatial allocation during ON periods
+    double offFraction = 0.0; ///< (d2-d1)/(d3-d1) from Eq. 5
+    Watts deficit = 0.0;      ///< draw above cap during ON, from ESD
+    Watts chargePower = 0.0;  ///< wall power into ESD during OFF
+    double objective = 0.0;   ///< onFraction * sum perfNorm
+    bool viable = false;      ///< a positive-throughput plan exists
+};
+
+/** How duty-cycle ON-time shares are chosen. */
+enum class ShareMode
+{
+    Equal,          ///< fair alternate duty cycling (the baselines)
+    UtilityWeighted, ///< shares follow perf-per-watt, with a floor
+};
+
+/** Allocator tuning. */
+struct AllocatorConfig
+{
+    Watts granularity = 0.25;   ///< DP watt quantum
+    double shareFloor = 0.25;   ///< min ON share under UtilityWeighted
+    /** Candidate ON-budget steps searched when planning with ESD. */
+    Watts esdSearchStep = 1.0;
+    /**
+     * When the budget covers every application's cheapest frontier
+     * point, reserve those minima before optimizing (Eq. 1 weighs
+     * apps evenly — nobody starves while spatial coordination is
+     * feasible).  Disable for policies whose enforcement can throttle
+     * below the frontier's floor (RAPL clock modulation), where the
+     * curve minimum is not a real hardware minimum.
+     */
+    bool reserveMinima = true;
+};
+
+/**
+ * Stateless allocator over utility frontiers.
+ */
+class PowerAllocator
+{
+  public:
+    explicit PowerAllocator(AllocatorConfig config = {});
+
+    const AllocatorConfig &config() const { return cfg; }
+
+    /**
+     * Utility-optimal split of @p dynamic_budget across @p curves
+     * (DP + greedy slack pass).  Applications whose cheapest point
+     * does not fit may end up unscheduled (budget 0).
+     */
+    Allocation allocate(const std::vector<const UtilityCurve *> &curves,
+                        Watts dynamic_budget) const;
+
+    /**
+     * The Util-Unaware baseline's split: every application gets an
+     * equal share regardless of utility.
+     */
+    Allocation
+    equalSplit(const std::vector<const UtilityCurve *> &curves,
+               Watts dynamic_budget) const;
+
+    /**
+     * Alternate duty-cycle plan: one application ON at a time, each
+     * using the whole @p on_budget during its slot.
+     */
+    TemporalPlan
+    temporalPlan(const std::vector<const UtilityCurve *> &curves,
+                 Watts on_budget, ShareMode mode) const;
+
+    /**
+     * ESD-assisted consolidated plan: all applications ON together
+     * above the cap, bridged by the battery, alternating with
+     * all-off charge periods per Eq. 5.
+     *
+     * @param idle_power P_idle of the platform.
+     * @param cm_power P_cm of the platform.
+     * @param cap The server power cap.
+     * @param esd The battery's static parameters.
+     */
+    EsdPlan esdPlan(const std::vector<const UtilityCurve *> &curves,
+                    Watts idle_power, Watts cm_power, Watts cap,
+                    const esd::BatteryConfig &esd) const;
+
+  private:
+    AllocatorConfig cfg;
+
+    /** Greedy upgrade pass distributing DP slack. */
+    void distributeSlack(const std::vector<const UtilityCurve *> &curves,
+                         Allocation &alloc) const;
+};
+
+} // namespace psm::core
+
+#endif // PSM_CORE_POWER_ALLOCATOR_HH

@@ -1,0 +1,169 @@
+#include "battery.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace psm::esd
+{
+
+double
+BatteryConfig::roundTripEfficiency() const
+{
+    return chargeEfficiency * dischargeEfficiency;
+}
+
+void
+BatteryConfig::validate() const
+{
+    if (capacity <= 0.0)
+        fatal("battery capacity must be positive");
+    if (maxChargePower <= 0.0 || maxDischargePower <= 0.0)
+        fatal("battery power limits must be positive");
+    if (chargeEfficiency <= 0.0 || chargeEfficiency > 1.0 ||
+        dischargeEfficiency <= 0.0 || dischargeEfficiency > 1.0) {
+        fatal("battery efficiencies must lie in (0, 1]");
+    }
+    if (selfDischargePerHour < 0.0 || selfDischargePerHour >= 1.0)
+        fatal("self-discharge rate must lie in [0, 1)");
+    if (initialSoc < 0.0 || initialSoc > 1.0)
+        fatal("initial SoC must lie in [0, 1]");
+}
+
+BatteryConfig
+leadAcidUps()
+{
+    BatteryConfig c;
+    c.chemistry = "lead-acid";
+    c.capacity = 5000.0;
+    c.maxChargePower = 30.0;
+    c.maxDischargePower = 60.0;
+    c.chargeEfficiency = 0.90;
+    c.dischargeEfficiency = 0.89;
+    c.selfDischargePerHour = 0.001;
+    c.initialSoc = 0.0;
+    c.validate();
+    return c;
+}
+
+BatteryConfig
+liIonPack()
+{
+    BatteryConfig c;
+    c.chemistry = "li-ion";
+    c.capacity = 5000.0;
+    c.maxChargePower = 60.0;
+    c.maxDischargePower = 120.0;
+    c.chargeEfficiency = 0.97;
+    c.dischargeEfficiency = 0.96;
+    c.selfDischargePerHour = 0.0002;
+    c.initialSoc = 0.0;
+    c.validate();
+    return c;
+}
+
+BatteryConfig
+paperExampleEsd()
+{
+    BatteryConfig c;
+    c.chemistry = "lead-acid";
+    c.capacity = 200.0;
+    c.maxChargePower = 20.0;
+    c.maxDischargePower = 60.0;
+    // The Fig. 5 walk-through uses ideal storage arithmetic (200 J
+    // banked sustains exactly 200 J of extra draw).
+    c.chargeEfficiency = 1.0;
+    c.dischargeEfficiency = 1.0;
+    c.selfDischargePerHour = 0.0;
+    c.initialSoc = 0.0;
+    c.validate();
+    return c;
+}
+
+Battery::Battery(BatteryConfig config) : cfg(std::move(config))
+{
+    cfg.validate();
+    stored_energy = cfg.initialSoc * cfg.capacity;
+}
+
+Watts
+Battery::charge(Watts offered, Tick dt)
+{
+    psm_assert(offered >= 0.0);
+    if (dt == 0 || offered <= 0.0 || full())
+        return 0.0;
+
+    Watts wall = std::min(offered, cfg.maxChargePower);
+    Joules would_store = energyOver(wall, dt) * cfg.chargeEfficiency;
+    Joules room = cfg.capacity - stored_energy;
+    if (would_store > room) {
+        // Taper: only draw what the remaining capacity can absorb.
+        would_store = room;
+        wall = room / cfg.chargeEfficiency / toSeconds(dt);
+    }
+    stored_energy += would_store;
+    wall_in += energyOver(wall, dt);
+    return wall;
+}
+
+Watts
+Battery::discharge(Watts requested, Tick dt)
+{
+    psm_assert(requested >= 0.0);
+    if (dt == 0 || requested <= 0.0 || empty())
+        return 0.0;
+
+    Watts delivered = std::min(requested, cfg.maxDischargePower);
+    Joules from_store =
+        energyOver(delivered, dt) / cfg.dischargeEfficiency;
+    if (from_store > stored_energy) {
+        from_store = stored_energy;
+        delivered =
+            from_store * cfg.dischargeEfficiency / toSeconds(dt);
+    }
+    stored_energy -= from_store;
+    delivered_out += energyOver(delivered, dt);
+    return delivered;
+}
+
+void
+Battery::rest(Tick dt)
+{
+    if (dt == 0 || stored_energy <= 0.0)
+        return;
+    double hours = toSeconds(dt) / 3600.0;
+    double keep = std::pow(1.0 - cfg.selfDischargePerHour, hours);
+    stored_energy *= keep;
+}
+
+Tick
+Battery::sustainTime(Watts delivered) const
+{
+    if (delivered <= 0.0)
+        return maxTick;
+    Watts actual = std::min(delivered, cfg.maxDischargePower);
+    double seconds =
+        stored_energy * cfg.dischargeEfficiency / actual;
+    return toTicks(seconds);
+}
+
+Tick
+Battery::timeToFull(Watts offered) const
+{
+    if (offered <= 0.0)
+        return maxTick;
+    Watts wall = std::min(offered, cfg.maxChargePower);
+    double stored_per_sec = wall * cfg.chargeEfficiency;
+    if (stored_per_sec <= 0.0)
+        return maxTick;
+    return toTicks((cfg.capacity - stored_energy) / stored_per_sec);
+}
+
+double
+Battery::equivalentCycles() const
+{
+    return delivered_out / cfg.dischargeEfficiency / cfg.capacity;
+}
+
+} // namespace psm::esd

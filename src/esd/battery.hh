@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Energy storage device (ESD) model.
+ *
+ * The paper equips the server with a Lead-Acid UPS and uses it to
+ * time-shift power (Requirement R4): bank energy when the cap leaves
+ * headroom, spend it to exceed the cap while both applications run
+ * concurrently, amortizing the non-convex P_cm.
+ *
+ * The model tracks state of charge with separate charge and discharge
+ * efficiencies (their product is the round-trip efficiency eta in the
+ * paper's Eq. 5), power limits in both directions, and self-discharge.
+ */
+
+#ifndef PSM_ESD_BATTERY_HH
+#define PSM_ESD_BATTERY_HH
+
+#include <string>
+
+#include "util/units.hh"
+
+namespace psm::esd
+{
+
+/** Static parameters of an energy storage device. */
+struct BatteryConfig
+{
+    std::string chemistry = "lead-acid";
+    Joules capacity = 5000.0;      ///< usable energy capacity
+    Watts maxChargePower = 30.0;   ///< wall power limit when charging
+    Watts maxDischargePower = 60.0; ///< delivery limit when discharging
+    double chargeEfficiency = 0.90; ///< stored / drawn-from-wall
+    double dischargeEfficiency = 0.89; ///< delivered / drawn-from-store
+    double selfDischargePerHour = 0.001; ///< SoC fraction lost per hour
+    double initialSoc = 0.0;       ///< starting state of charge [0,1]
+
+    /** Round-trip efficiency eta = chargeEff * dischargeEff. */
+    double roundTripEfficiency() const;
+
+    /** Validate ranges; calls fatal() on nonsense. */
+    void validate() const;
+};
+
+/**
+ * A Lead-Acid UPS preset matching the paper's platform: ~80%
+ * round-trip efficiency, which yields the 60-40 OFF-ON duty cycle the
+ * paper reports at the 80 W cap.
+ */
+BatteryConfig leadAcidUps();
+
+/**
+ * The tiny illustrative device of the paper's Fig. 5 walk-through:
+ * 200 J charged from 20 W of headroom.
+ */
+BatteryConfig paperExampleEsd();
+
+/**
+ * A Li-ion pack of comparable usable energy: higher round-trip
+ * efficiency and power limits, faster self-discharge than the paper's
+ * Lead-Acid UPS but far better cycle behaviour.  Provided for the
+ * chemistry ablation (the paper's ESD-placement citations compare
+ * chemistries this way).
+ */
+BatteryConfig liIonPack();
+
+/**
+ * Stateful battery: integrates charge/discharge over simulation time.
+ */
+class Battery
+{
+  public:
+    explicit Battery(BatteryConfig config);
+
+    const BatteryConfig &config() const { return cfg; }
+
+    /** Stored energy in joules. */
+    Joules stored() const { return stored_energy; }
+
+    /** State of charge in [0, 1]. */
+    double soc() const { return stored_energy / cfg.capacity; }
+
+    bool full() const { return stored_energy >= cfg.capacity - 1e-9; }
+    bool empty() const { return stored_energy <= 1e-9; }
+
+    /**
+     * Charge from the wall for @p dt at up to @p offered watts.
+     *
+     * @return The wall power actually drawn (limited by the charge
+     *         power limit and remaining capacity).
+     */
+    Watts charge(Watts offered, Tick dt);
+
+    /**
+     * Discharge for @p dt, requesting @p requested watts of delivered
+     * power.
+     *
+     * @return The power actually delivered (limited by the discharge
+     *         power limit and stored energy).
+     */
+    Watts discharge(Watts requested, Tick dt);
+
+    /** Let @p dt pass with no charge or discharge (self-discharge). */
+    void rest(Tick dt);
+
+    /**
+     * Longest duration the battery can sustain @p delivered watts of
+     * output from its current charge; maxTick when delivered <= 0.
+     */
+    Tick sustainTime(Watts delivered) const;
+
+    /**
+     * Time to charge from the current level to full with @p offered
+     * wall watts; maxTick when no effective charging is possible.
+     */
+    Tick timeToFull(Watts offered) const;
+
+    // --- Lifetime accounting ---------------------------------------
+    /** Total energy drawn from the wall while charging. */
+    Joules totalChargedFromWall() const { return wall_in; }
+    /** Total energy delivered to the server while discharging. */
+    Joules totalDelivered() const { return delivered_out; }
+    /** Equivalent full cycles so far (discharge throughput). */
+    double equivalentCycles() const;
+
+  private:
+    BatteryConfig cfg;
+    Joules stored_energy;
+    Joules wall_in = 0.0;
+    Joules delivered_out = 0.0;
+};
+
+} // namespace psm::esd
+
+#endif // PSM_ESD_BATTERY_HH

@@ -1,0 +1,48 @@
+#include "charge_controller.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace psm::esd
+{
+
+ChargeController::ChargeController(Battery &battery) : bat(battery)
+{
+}
+
+EsdFlow
+ChargeController::plan(Watts server_demand, Watts cap,
+                       bool allow_charge) const
+{
+    psm_assert(server_demand >= 0.0);
+    EsdFlow flow;
+    if (server_demand > cap) {
+        // Eq. 4: bridge the deficit from storage.
+        Watts deficit = server_demand - cap;
+        flow.discharge = std::min(deficit,
+                                  bat.config().maxDischargePower);
+        if (bat.empty())
+            flow.discharge = 0.0;
+    } else if (allow_charge && !bat.full()) {
+        // Eq. 3: bank the headroom.
+        Watts headroom = cap - server_demand;
+        flow.charge = std::min(headroom, bat.config().maxChargePower);
+    }
+    return flow;
+}
+
+EsdFlow
+ChargeController::apply(const EsdFlow &flow, Tick dt)
+{
+    EsdFlow actual;
+    if (flow.charge > 0.0)
+        actual.charge = bat.charge(flow.charge, dt);
+    else if (flow.discharge > 0.0)
+        actual.discharge = bat.discharge(flow.discharge, dt);
+    else
+        bat.rest(dt);
+    return actual;
+}
+
+} // namespace psm::esd

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Charge controller: decides the ESD power flow each interval given
+ * the server cap and demand, enforcing Eq. 3 (charging must fit under
+ * the cap) and Eq. 4 (discharge covers demand above the cap).
+ */
+
+#ifndef PSM_ESD_CHARGE_CONTROLLER_HH
+#define PSM_ESD_CHARGE_CONTROLLER_HH
+
+#include "battery.hh"
+#include "util/units.hh"
+
+namespace psm::esd
+{
+
+/** The controller's decision for one interval. */
+struct EsdFlow
+{
+    Watts charge = 0.0;    ///< wall power drawn into the ESD
+    Watts discharge = 0.0; ///< power delivered from the ESD
+};
+
+/**
+ * Stateless policy around a Battery; the coordinator asks it what
+ * flow to apply for one interval and then applies it.
+ */
+class ChargeController
+{
+  public:
+    explicit ChargeController(Battery &battery);
+
+    /**
+     * Decide the flow for an interval where the server internals
+     * draw @p server_demand and the cap is @p cap:
+     *
+     *  - demand above the cap is covered by discharge (up to the
+     *    battery's limits);
+     *  - headroom below the cap charges the battery, unless
+     *    @p allow_charge is false (e.g. during ON phases when every
+     *    spare watt should go to applications).
+     */
+    EsdFlow plan(Watts server_demand, Watts cap,
+                 bool allow_charge = true) const;
+
+    /**
+     * Apply a planned flow for @p dt, respecting battery state; the
+     * returned flow reflects what actually happened (e.g. a nearly
+     * full battery tapers its charge).
+     */
+    EsdFlow apply(const EsdFlow &flow, Tick dt);
+
+    Battery &battery() { return bat; }
+    const Battery &battery() const { return bat; }
+
+  private:
+    Battery &bat;
+};
+
+} // namespace psm::esd
+
+#endif // PSM_ESD_CHARGE_CONTROLLER_HH

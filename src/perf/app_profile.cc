@@ -1,0 +1,51 @@
+#include "app_profile.hh"
+
+#include "util/logging.hh"
+
+namespace psm::perf
+{
+
+std::string
+appTypeName(AppType type)
+{
+    switch (type) {
+      case AppType::Analytics:
+        return "analytics";
+      case AppType::Graph:
+        return "graph";
+      case AppType::Search:
+        return "search";
+      case AppType::Memory:
+        return "memory";
+      case AppType::Media:
+        return "media";
+      default:
+        panic("invalid AppType %d", static_cast<int>(type));
+    }
+}
+
+void
+AppProfile::validate() const
+{
+    if (name.empty())
+        fatal("application profile requires a name");
+    if (parallelFraction < 0.0 || parallelFraction > 1.0)
+        fatal("%s: parallelFraction %f outside [0,1]", name.c_str(),
+              parallelFraction);
+    if (cpuSecPerHb <= 0.0)
+        fatal("%s: cpuSecPerHb must be positive", name.c_str());
+    if (memGbPerHb < 0.0)
+        fatal("%s: memGbPerHb must be non-negative", name.c_str());
+    if (overlap < 0.0 || overlap > 1.0)
+        fatal("%s: overlap %f outside [0,1]", name.c_str(), overlap);
+    if (activity <= 0.0 || activity > 1.0)
+        fatal("%s: activity %f outside (0,1]", name.c_str(), activity);
+    if (basePower < 0.0)
+        fatal("%s: basePower must be non-negative", name.c_str());
+    if (residentStateMb < 0.0)
+        fatal("%s: residentStateMb must be non-negative", name.c_str());
+    if (totalHeartbeats <= 0.0)
+        fatal("%s: totalHeartbeats must be positive", name.c_str());
+}
+
+} // namespace psm::perf

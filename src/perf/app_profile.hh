@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Application profiles: the per-workload parameters that drive the
+ * roofline performance model and the power attribution.
+ *
+ * The paper evaluates PARSEC / GAP / MineBench / STREAM workloads on
+ * real hardware; here each workload is described by a small analytic
+ * profile (parallel fraction, compute and memory work per heartbeat,
+ * compute/memory overlap, circuit activity, resident state) calibrated
+ * so the workload lands in the same qualitative class the paper
+ * reports — e.g. kmeans and PageRank compute-bound, STREAM memory
+ * bandwidth bound, graph kernels latency-sensitive and irregular.
+ */
+
+#ifndef PSM_PERF_APP_PROFILE_HH
+#define PSM_PERF_APP_PROFILE_HH
+
+#include <string>
+
+namespace psm::perf
+{
+
+/** Workload family, as labelled in Table II. */
+enum class AppType
+{
+    Analytics, ///< data analytics (kmeans, APR)
+    Graph,     ///< graph analytics (BFS, CC, SSSP, BC, TC)
+    Search,    ///< search indexing (PageRank)
+    Memory,    ///< memory streaming (STREAM)
+    Media,     ///< media processing (x264, facesim, ferret)
+};
+
+/** Printable name of an AppType ("graph", "media", ...). */
+std::string appTypeName(AppType type);
+
+/**
+ * Analytic description of one application.
+ *
+ * A "heartbeat" is the application's own unit of useful work (a frame
+ * for x264, an iteration for kmeans, ...), reported through the
+ * heartbeats interface exactly as in the paper's instrumentation.
+ */
+struct AppProfile
+{
+    std::string name;     ///< e.g. "kmeans"
+    AppType type = AppType::Analytics;
+
+    /** Amdahl parallel fraction of the compute phase. */
+    double parallelFraction = 0.9;
+
+    /**
+     * Single-core compute seconds per heartbeat at f_max (the serial
+     * execution time of one heartbeat's compute, before Amdahl and
+     * DVFS scaling).
+     */
+    double cpuSecPerHb = 0.02;
+
+    /** Memory traffic per heartbeat in gigabytes. */
+    double memGbPerHb = 0.01;
+
+    /**
+     * Fraction of memory time hidden under compute in [0, 1]:
+     * 1 = perfectly overlapped streaming, 0 = fully serialized
+     * pointer chasing.
+     */
+    double overlap = 0.5;
+
+    /**
+     * Circuit activity factor of a busy core in (0, 1]; multiplies
+     * peak core power together with the dynamically computed core
+     * utilization.
+     */
+    double activity = 0.9;
+
+    /** Per-app activation overhead in watts (private caches, OS). */
+    double basePower = 2.0;
+
+    /**
+     * Resident state (hot working set) in megabytes; lost when the
+     * application is duty-cycled off and refilled from DRAM on
+     * resume.
+     */
+    double residentStateMb = 30.0;
+
+    /** Total heartbeats to completion (job length). */
+    double totalHeartbeats = 1.0e9;
+
+    /** Validate parameter ranges; calls fatal() on nonsense. */
+    void validate() const;
+};
+
+} // namespace psm::perf
+
+#endif // PSM_PERF_APP_PROFILE_HH

@@ -1,0 +1,72 @@
+#include "heartbeats.hh"
+
+#include "util/logging.hh"
+
+namespace psm::perf
+{
+
+Heartbeats::Heartbeats(Tick window) : window(window)
+{
+    psm_assert(window > 0);
+}
+
+void
+Heartbeats::emit(Tick now, Tick dt, double beats)
+{
+    (void)now;
+    psm_assert(beats >= 0.0);
+    if (dt == 0)
+        return;
+
+    total_beats += beats;
+    span += dt;
+
+    samples.emplace_back(dt, beats);
+    samples_span += dt;
+    samples_beats += beats;
+    while (samples_span > window && samples.size() > 1) {
+        auto [d, b] = samples.front();
+        Tick excess = samples_span - window;
+        if (d <= excess) {
+            samples.pop_front();
+            samples_span -= d;
+            samples_beats -= b;
+        } else {
+            double share = static_cast<double>(excess) /
+                           static_cast<double>(d);
+            samples.front().first = d - excess;
+            samples.front().second = b * (1.0 - share);
+            samples_span -= excess;
+            samples_beats -= b * share;
+            break;
+        }
+    }
+}
+
+double
+Heartbeats::windowRate() const
+{
+    if (samples_span == 0)
+        return 0.0;
+    return samples_beats / toSeconds(samples_span);
+}
+
+double
+Heartbeats::lifetimeRate() const
+{
+    if (span == 0)
+        return 0.0;
+    return total_beats / toSeconds(span);
+}
+
+void
+Heartbeats::reset()
+{
+    total_beats = 0.0;
+    span = 0;
+    samples.clear();
+    samples_span = 0;
+    samples_beats = 0.0;
+}
+
+} // namespace psm::perf

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Application heartbeats instrumentation (Hoffmann et al.), the
+ * performance observable the paper's framework consumes.
+ *
+ * Applications emit heartbeats as they complete units of useful work;
+ * the monitor exposes total progress and a windowed heartbeat rate.
+ * The framework never sees model internals — like the paper, it
+ * observes performance only through this interface.
+ */
+
+#ifndef PSM_PERF_HEARTBEATS_HH
+#define PSM_PERF_HEARTBEATS_HH
+
+#include <deque>
+
+#include "util/units.hh"
+
+namespace psm::perf
+{
+
+/**
+ * Heartbeat recorder for one application.
+ */
+class Heartbeats
+{
+  public:
+    /**
+     * @param window Span over which the windowed rate is computed.
+     */
+    explicit Heartbeats(Tick window = toTicks(1.0));
+
+    /**
+     * Record @p beats (possibly fractional) heartbeats earned over
+     * the interval ending at @p now with duration @p dt.
+     */
+    void emit(Tick now, Tick dt, double beats);
+
+    /** Total heartbeats since construction or reset. */
+    double total() const { return total_beats; }
+
+    /** Heartbeat rate averaged over the trailing window. */
+    double windowRate() const;
+
+    /** Heartbeat rate averaged over the entire recorded span. */
+    double lifetimeRate() const;
+
+    /** Forget all history. */
+    void reset();
+
+  private:
+    Tick window;
+    double total_beats = 0.0;
+    Tick span = 0;
+
+    /** Trailing samples of (duration, beats). */
+    std::deque<std::pair<Tick, double>> samples;
+    Tick samples_span = 0;
+    double samples_beats = 0.0;
+};
+
+} // namespace psm::perf
+
+#endif // PSM_PERF_HEARTBEATS_HH

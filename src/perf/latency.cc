@@ -1,0 +1,50 @@
+#include "latency.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace psm::perf
+{
+
+namespace
+{
+const double ln100 = std::log(100.0);
+} // namespace
+
+double
+LatencyModel::utilization(double mu, double lambda)
+{
+    psm_assert(lambda >= 0.0 && mu >= 0.0);
+    if (mu <= 0.0)
+        return unstable;
+    return lambda / mu;
+}
+
+double
+LatencyModel::meanSojourn(double mu, double lambda)
+{
+    psm_assert(lambda >= 0.0 && mu >= 0.0);
+    if (lambda >= mu)
+        return unstable;
+    return 1.0 / (mu - lambda);
+}
+
+double
+LatencyModel::p99(double mu, double lambda)
+{
+    double mean = meanSojourn(mu, lambda);
+    if (mean == unstable)
+        return unstable;
+    return ln100 * mean;
+}
+
+double
+LatencyModel::requiredRateForSlo(double lambda, double slo_p99)
+{
+    psm_assert(lambda >= 0.0);
+    psm_assert(slo_p99 > 0.0);
+    return lambda + ln100 / slo_p99;
+}
+
+} // namespace psm::perf

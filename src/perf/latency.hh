@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Latency extension: response-time estimates for latency-critical
+ * applications under power capping.
+ *
+ * The paper's evaluation uses throughput workloads, but its footnote
+ * notes that all four requirements also apply to latency-critical
+ * applications.  This module adds the missing observable: treat a
+ * latency-critical application as a single-queue server whose service
+ * rate is its (power-dependent) heartbeat rate, and derive mean and
+ * tail response times under an offered request load — an M/M/1
+ * approximation, which is the standard first-order model for
+ * capacity-vs-latency trade-offs in capped servers.
+ *
+ * With it, a power allocation maps directly to a p99, so SLO
+ * compliance under each policy can be evaluated (see
+ * bench_ext_latency).
+ */
+
+#ifndef PSM_PERF_LATENCY_HH
+#define PSM_PERF_LATENCY_HH
+
+#include <limits>
+
+#include "util/units.hh"
+
+namespace psm::perf
+{
+
+/**
+ * Queueing estimates for a service with rate @p mu (requests/s)
+ * under offered load @p lambda (requests/s).
+ */
+class LatencyModel
+{
+  public:
+    /** Utilization rho = lambda / mu (infinity when mu == 0). */
+    static double utilization(double mu, double lambda);
+
+    /**
+     * Mean sojourn (queue + service) time in seconds: 1/(mu-lambda).
+     * Infinite when the queue is unstable (lambda >= mu).
+     */
+    static double meanSojourn(double mu, double lambda);
+
+    /**
+     * Approximate 99th percentile sojourn time: the sojourn
+     * distribution of M/M/1 is exponential with mean 1/(mu-lambda),
+     * so p99 = ln(100) * mean.
+     */
+    static double p99(double mu, double lambda);
+
+    /**
+     * Smallest service rate meeting a p99 SLO at load @p lambda:
+     * mu = lambda + ln(100)/slo.
+     */
+    static double requiredRateForSlo(double lambda, double slo_p99);
+
+    /** Sentinel for unstable queues. */
+    static constexpr double unstable =
+        std::numeric_limits<double>::infinity();
+};
+
+} // namespace psm::perf
+
+#endif // PSM_PERF_LATENCY_HH

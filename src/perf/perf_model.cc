@@ -1,0 +1,89 @@
+#include "perf_model.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+#include "util/mathutil.hh"
+
+namespace psm::perf
+{
+
+PerfModel::PerfModel(const power::PlatformConfig &config,
+                     AppProfile profile)
+    : config(config), app(std::move(profile)), core_model(config),
+      dram_model(config)
+{
+    app.validate();
+    OperatingPoint best = evaluateRaw(config.maxSetting(), 1.0, 1.0,
+                                      1.0, 1.0);
+    max_hb_rate = best.hbRate;
+    max_power = best.totalPower();
+    OperatingPoint least = evaluateRaw(config.minSetting(), 1.0, 1.0,
+                                       1.0, 1.0);
+    min_power = least.totalPower();
+    psm_assert(max_hb_rate > 0.0);
+}
+
+OperatingPoint
+PerfModel::evaluateRaw(const power::KnobSetting &raw_setting,
+                       double freq_throttle, double bw_throttle,
+                       double cpu_scale, double mem_scale) const
+{
+    psm_assert(freq_throttle > 0.0 && freq_throttle <= 1.0);
+    psm_assert(bw_throttle > 0.0 && bw_throttle <= 1.0);
+    psm_assert(cpu_scale > 0.0 && mem_scale >= 0.0);
+
+    power::KnobSetting s = config.clampSetting(raw_setting);
+    GHz f_eff = s.freq * freq_throttle;
+
+    // Compute time: Amdahl over the allocated cores, linear in the
+    // effective clock.
+    double speedup = amdahlSpeedup(s.cores, app.parallelFraction) *
+                     (f_eff / config.freqMax);
+    double t_cpu = app.cpuSecPerHb * cpu_scale / speedup;
+
+    // Memory time: stream the heartbeat's traffic at the bandwidth
+    // ceiling allowed by the DRAM power budget.
+    double mem_gb = app.memGbPerHb * mem_scale;
+    GBps ceiling = dram_model.bandwidthCeiling(s.dramPower) *
+                   bw_throttle;
+    double t_mem = mem_gb > 0.0 ? mem_gb / ceiling : 0.0;
+
+    // Partial overlap roofline: the longer phase dominates; the
+    // non-overlapped share of the shorter phase is exposed.
+    double t_long = std::max(t_cpu, t_mem);
+    double t_short = std::min(t_cpu, t_mem);
+    double t_total = t_long + (1.0 - app.overlap) * t_short;
+    psm_assert(t_total > 0.0);
+
+    OperatingPoint op;
+    op.hbRate = 1.0 / t_total;
+    op.coreUtilization = std::min(1.0, t_cpu / t_total);
+    op.memBandwidth = mem_gb * op.hbRate;
+
+    // Stalled cores are not free: only part of the dynamic power
+    // scales away with utilization.
+    double stall = config.coreStallPowerFraction;
+    double effective_activity =
+        app.activity * (stall + (1.0 - stall) * op.coreUtilization);
+    op.corePower = core_model.corePower(
+        std::min(f_eff, config.freqMax), effective_activity, s.cores);
+    op.dramPower = dram_model.throttledPower(op.memBandwidth,
+                                             s.dramPower);
+    op.basePower = app.basePower;
+    return op;
+}
+
+OperatingPoint
+PerfModel::evaluate(const power::KnobSetting &setting,
+                    double freq_throttle, double bw_throttle,
+                    double cpu_scale, double mem_scale) const
+{
+    OperatingPoint op = evaluateRaw(setting, freq_throttle, bw_throttle,
+                                    cpu_scale, mem_scale);
+    op.perfNorm = op.hbRate / max_hb_rate;
+    return op;
+}
+
+} // namespace psm::perf

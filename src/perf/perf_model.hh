@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Roofline-style analytic performance/power model for one application.
+ *
+ * Given a knob setting (f, n, m) the model produces the application's
+ * heartbeat rate and its power demand on each direct resource.  The
+ * heartbeat time is composed of a compute component (scaled by Amdahl
+ * over n and linearly by f) and a memory component (scaled by the
+ * bandwidth ceiling the DRAM power budget m permits), with a
+ * per-application overlap factor between the two.
+ *
+ * Core power scales with the dynamically computed core utilization —
+ * cores stall while exposed memory time accumulates — which reproduces
+ * the application-dependent power/performance slopes of the paper's
+ * Fig. 2 and the resource-level differences of Fig. 3.
+ */
+
+#ifndef PSM_PERF_PERF_MODEL_HH
+#define PSM_PERF_PERF_MODEL_HH
+
+#include "app_profile.hh"
+#include "power/core_power.hh"
+#include "power/dram_power.hh"
+#include "power/platform.hh"
+#include "util/units.hh"
+
+namespace psm::perf
+{
+
+/**
+ * Everything the simulator and the allocator need to know about one
+ * application at one operating point.
+ */
+struct OperatingPoint
+{
+    double hbRate = 0.0;      ///< heartbeats per second
+    double perfNorm = 0.0;    ///< hbRate / hbRate at the max setting
+    double coreUtilization = 0.0; ///< busy fraction of allocated cores
+    GBps memBandwidth = 0.0;  ///< served memory bandwidth
+
+    Watts corePower = 0.0;    ///< dynamic core power
+    Watts dramPower = 0.0;    ///< channel power incl. background
+    Watts basePower = 0.0;    ///< per-app activation overhead
+
+    /** The application's total dynamic power P_X. */
+    Watts totalPower() const { return corePower + dramPower + basePower; }
+};
+
+/**
+ * Per-application analytic model; immutable once constructed.
+ */
+class PerfModel
+{
+  public:
+    PerfModel(const power::PlatformConfig &config, AppProfile profile);
+
+    const AppProfile &profile() const { return app; }
+    const power::PlatformConfig &platform() const { return config; }
+
+    /**
+     * Evaluate the model at a knob setting with optional hardware
+     * throttles and phase scaling.
+     *
+     * @param setting Knob setting; clamped to the platform ranges.
+     * @param freq_throttle Multiplier on effective frequency in
+     *        (0, 1], from package RAPL enforcement.
+     * @param bw_throttle Multiplier on the DRAM bandwidth ceiling in
+     *        (0, 1], from DRAM RAPL enforcement.
+     * @param cpu_scale Phase multiplier on compute work per heartbeat.
+     * @param mem_scale Phase multiplier on memory traffic per
+     *        heartbeat.
+     */
+    OperatingPoint evaluate(const power::KnobSetting &setting,
+                            double freq_throttle = 1.0,
+                            double bw_throttle = 1.0,
+                            double cpu_scale = 1.0,
+                            double mem_scale = 1.0) const;
+
+    /** Heartbeat rate at the maximal knob setting (no throttles). */
+    double maxHbRate() const { return max_hb_rate; }
+
+    /**
+     * The dynamic power P_X at the maximal setting — the isolated,
+     * uncapped draw used in the paper's worked examples (~20 W).
+     */
+    Watts maxPower() const { return max_power; }
+
+    /**
+     * The lowest total power at which the application can make
+     * forward progress: the minimal setting's power draw.
+     */
+    Watts minPower() const { return min_power; }
+
+  private:
+    const power::PlatformConfig &config;
+    AppProfile app;
+    power::CorePowerModel core_model;
+    power::DramPowerModel dram_model;
+    double max_hb_rate = 0.0;
+    Watts max_power = 0.0;
+    Watts min_power = 0.0;
+
+    OperatingPoint evaluateRaw(const power::KnobSetting &setting,
+                               double freq_throttle, double bw_throttle,
+                               double cpu_scale, double mem_scale) const;
+};
+
+} // namespace psm::perf
+
+#endif // PSM_PERF_PERF_MODEL_HH

@@ -1,0 +1,150 @@
+#include "workloads.hh"
+
+#include "power/dram_power.hh"
+#include "power/platform.hh"
+#include "util/logging.hh"
+#include "util/mathutil.hh"
+
+namespace psm::perf
+{
+
+namespace
+{
+
+/**
+ * Build one profile from calibration-friendly parameters.
+ *
+ * @param mem_ratio Ratio of memory time to compute time at the
+ *        maximal knob setting; >1 means memory bound.
+ * @param run_seconds Approximate isolated runtime at the maximal
+ *        setting, used to size totalHeartbeats.
+ */
+AppProfile
+makeProfile(std::string name, AppType type, double pf,
+            double cpu_sec_per_hb, double mem_ratio, double overlap,
+            double activity, double state_mb, double run_seconds)
+{
+    const auto &plat = power::defaultPlatform();
+    power::DramPowerModel dram(plat);
+    GBps full_bw = dram.bandwidthCeiling(plat.dramPowerMax);
+
+    AppProfile p;
+    p.name = std::move(name);
+    p.type = type;
+    p.parallelFraction = pf;
+    p.cpuSecPerHb = cpu_sec_per_hb;
+    p.overlap = overlap;
+    p.activity = activity;
+    p.basePower = 2.5;
+    p.residentStateMb = state_mb;
+
+    // Memory traffic sized so that t_mem / t_cpu at the max setting
+    // equals mem_ratio when the channel runs at its full ceiling.
+    double t_cpu_max =
+        cpu_sec_per_hb / amdahlSpeedup(plat.coresMaxPerApp, pf);
+    p.memGbPerHb = mem_ratio * t_cpu_max * full_bw;
+
+    // Heartbeat budget for the requested isolated runtime.
+    double t_long = std::max(t_cpu_max, mem_ratio * t_cpu_max);
+    double t_short = std::min(t_cpu_max, mem_ratio * t_cpu_max);
+    double t_total = t_long + (1.0 - overlap) * t_short;
+    p.totalHeartbeats = run_seconds / t_total;
+
+    p.validate();
+    return p;
+}
+
+std::vector<AppProfile>
+buildLibrary()
+{
+    std::vector<AppProfile> lib;
+    // name, type, parallel fraction, cpu s/hb, mem ratio, overlap,
+    // activity, resident MB, nominal seconds.
+    lib.push_back(makeProfile("stream", AppType::Memory, 0.95, 0.004,
+                              3.50, 0.93, 0.60, 40.0, 90.0));
+    lib.push_back(makeProfile("kmeans", AppType::Analytics, 0.90, 0.020,
+                              0.10, 0.60, 0.95, 25.0, 100.0));
+    lib.push_back(makeProfile("apr", AppType::Analytics, 0.75, 0.030,
+                              0.40, 0.50, 0.90, 60.0, 110.0));
+    lib.push_back(makeProfile("bfs", AppType::Graph, 0.78, 0.012,
+                              1.60, 0.30, 0.55, 120.0, 80.0));
+    lib.push_back(makeProfile("connected", AppType::Graph, 0.82, 0.015,
+                              1.30, 0.35, 0.60, 100.0, 95.0));
+    lib.push_back(makeProfile("betweenness", AppType::Graph, 0.70, 0.025,
+                              0.75, 0.40, 0.75, 90.0, 105.0));
+    lib.push_back(makeProfile("sssp", AppType::Graph, 0.78, 0.018,
+                              1.10, 0.35, 0.65, 110.0, 85.0));
+    lib.push_back(makeProfile("triangle", AppType::Graph, 0.85, 0.040,
+                              0.45, 0.50, 0.85, 80.0, 120.0));
+    lib.push_back(makeProfile("pagerank", AppType::Search, 0.88, 0.022,
+                              0.20, 0.65, 0.92, 50.0, 90.0));
+    lib.push_back(makeProfile("x264", AppType::Media, 0.85, 0.035,
+                              0.30, 0.60, 0.88, 35.0, 100.0));
+    lib.push_back(makeProfile("facesim", AppType::Media, 0.72, 0.045,
+                              0.65, 0.50, 0.80, 70.0, 115.0));
+    lib.push_back(makeProfile("ferret", AppType::Media, 0.80, 0.028,
+                              0.45, 0.55, 0.85, 45.0, 95.0));
+    return lib;
+}
+
+} // namespace
+
+const std::vector<AppProfile> &
+workloadLibrary()
+{
+    static const std::vector<AppProfile> library = buildLibrary();
+    return library;
+}
+
+const AppProfile &
+workload(const std::string &name)
+{
+    for (const auto &p : workloadLibrary())
+        if (p.name == name)
+            return p;
+    fatal("unknown workload '%s'", name.c_str());
+}
+
+bool
+hasWorkload(const std::string &name)
+{
+    for (const auto &p : workloadLibrary())
+        if (p.name == name)
+            return true;
+    return false;
+}
+
+const std::vector<Mix> &
+tableTwoMixes()
+{
+    static const std::vector<Mix> mixes = {
+        {1, "stream", "kmeans"},
+        {2, "connected", "kmeans"},
+        {3, "stream", "bfs"},
+        {4, "facesim", "bfs"},
+        {5, "ferret", "betweenness"},
+        {6, "ferret", "pagerank"},
+        {7, "facesim", "betweenness"},
+        {8, "x264", "triangle"},
+        {9, "apr", "connected"},
+        {10, "pagerank", "kmeans"},
+        {11, "ferret", "sssp"},
+        {12, "facesim", "x264"},
+        {13, "apr", "kmeans"},
+        {14, "x264", "sssp"},
+        {15, "apr", "x264"},
+    };
+    return mixes;
+}
+
+const Mix &
+mix(int id)
+{
+    const auto &mixes = tableTwoMixes();
+    if (id < 1 || id > static_cast<int>(mixes.size()))
+        fatal("mix id %d outside Table II's range [1, %zu]", id,
+              mixes.size());
+    return mixes[static_cast<std::size_t>(id - 1)];
+}
+
+} // namespace psm::perf

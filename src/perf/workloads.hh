@@ -1,0 +1,53 @@
+/**
+ * @file
+ * The workload library: analytic stand-ins for the twelve datacenter
+ * applications the paper evaluates (Section IV), plus the fifteen
+ * co-location mixes of Table II.
+ *
+ * Sources in the paper: data analytics kmeans and APR from MineBench;
+ * graph analytics BFS, connected components, betweenness centrality,
+ * SSSP and triangle counting from the GAP benchmark suite; PageRank as
+ * search indexing; STREAM for memory streaming; and x264, facesim and
+ * ferret from PARSEC for media processing.
+ */
+
+#ifndef PSM_PERF_WORKLOADS_HH
+#define PSM_PERF_WORKLOADS_HH
+
+#include <string>
+#include <vector>
+
+#include "app_profile.hh"
+
+namespace psm::perf
+{
+
+/** One row of Table II: a pair of co-located applications. */
+struct Mix
+{
+    int id = 0;          ///< 1-based mix number from Table II
+    std::string app1;    ///< first application name
+    std::string app2;    ///< second application name
+};
+
+/**
+ * All twelve calibrated application profiles.  The vector is built
+ * once and lives for the program's lifetime.
+ */
+const std::vector<AppProfile> &workloadLibrary();
+
+/** Look up a profile by name; calls fatal() for unknown names. */
+const AppProfile &workload(const std::string &name);
+
+/** True when @p name names a library workload. */
+bool hasWorkload(const std::string &name);
+
+/** The fifteen application mixes of Table II, in paper order. */
+const std::vector<Mix> &tableTwoMixes();
+
+/** Look up a mix by its 1-based Table II id. */
+const Mix &mix(int id);
+
+} // namespace psm::perf
+
+#endif // PSM_PERF_WORKLOADS_HH

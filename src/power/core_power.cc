@@ -1,0 +1,81 @@
+#include "core_power.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace psm::power
+{
+
+CorePowerModel::CorePowerModel(const PlatformConfig &config)
+    : config(config)
+{
+}
+
+double
+CorePowerModel::freqFactor(GHz freq) const
+{
+    double r = std::clamp(freq / config.freqMax, 0.0, 1.0);
+    double lin = config.coreLinearFraction;
+    return lin * r + (1.0 - lin) * r * r * r;
+}
+
+Watts
+CorePowerModel::corePower(GHz freq, double activity) const
+{
+    psm_assert(activity >= 0.0 && activity <= 1.0);
+    if (activity == 0.0)
+        return 0.0;
+    return config.corePeakPower * activity * freqFactor(freq);
+}
+
+Watts
+CorePowerModel::corePower(GHz freq, double activity, int n) const
+{
+    psm_assert(n >= 0);
+    return corePower(freq, activity) * n;
+}
+
+Watts
+CorePowerModel::peakCorePower() const
+{
+    return config.corePeakPower;
+}
+
+double
+CorePowerModel::inverseFreqFactor(double target) const
+{
+    if (target >= 1.0)
+        return 1.0;
+    double lo = 0.05;
+    double hi = 1.0;
+    if (freqFactor(lo * config.freqMax) >= target)
+        return lo;
+    // freqFactor is strictly increasing in r; bisect.
+    for (int i = 0; i < 40; ++i) {
+        double mid = (lo + hi) / 2.0;
+        if (freqFactor(mid * config.freqMax) < target)
+            lo = mid;
+        else
+            hi = mid;
+    }
+    return (lo + hi) / 2.0;
+}
+
+GHz
+CorePowerModel::maxFreqWithinBudget(Watts budget, double activity,
+                                    int n) const
+{
+    psm_assert(n >= 1);
+    GHz best = config.freqMin;
+    for (GHz f : config.freqLevels()) {
+        if (corePower(f, activity, n) <= budget + 1e-9)
+            best = f;
+        else
+            break;
+    }
+    return best;
+}
+
+} // namespace psm::power

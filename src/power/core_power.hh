@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Analytic per-core dynamic power model.
+ *
+ * Core power is split into a linear-in-frequency component (clock
+ * distribution, short-circuit) and a cubic component (capacitive
+ * switching under voltage/frequency scaling).  Both scale with the
+ * core's activity factor — the fraction of cycles the core is doing
+ * useful switching rather than stalled on memory, which is why
+ * memory-bound applications draw less core power at the same DVFS
+ * state (the non-convexity the paper exploits).
+ */
+
+#ifndef PSM_POWER_CORE_POWER_HH
+#define PSM_POWER_CORE_POWER_HH
+
+#include "platform.hh"
+#include "util/units.hh"
+
+namespace psm::power
+{
+
+/**
+ * Computes the dynamic power of cores as a function of DVFS state and
+ * activity.  Stateless aside from the platform calibration.
+ */
+class CorePowerModel
+{
+  public:
+    explicit CorePowerModel(const PlatformConfig &config);
+
+    /**
+     * Dynamic power of one active core.
+     *
+     * @param freq DVFS frequency of the core.
+     * @param activity Activity factor in [0, 1]: 1 = fully busy
+     *        compute, lower values model stall-heavy execution.
+     * @return Power in watts (0 when activity is 0).
+     */
+    Watts corePower(GHz freq, double activity) const;
+
+    /**
+     * Dynamic power of @p n identical active cores.
+     */
+    Watts corePower(GHz freq, double activity, int n) const;
+
+    /**
+     * Peak power of one core (f_max, activity 1.0) — the calibration
+     * anchor.
+     */
+    Watts peakCorePower() const;
+
+    /**
+     * Frequency scaling factor in (0, 1]: corePower(f, a) ==
+     * peak * a * freqFactor(f).
+     */
+    double freqFactor(GHz freq) const;
+
+    /**
+     * Invert the model: the highest legal DVFS state at which @p n
+     * cores with @p activity stay within @p budget; returns freqMin
+     * when even that exceeds the budget.
+     */
+    GHz maxFreqWithinBudget(Watts budget, double activity, int n) const;
+
+    /**
+     * Inverse of freqFactor(): the frequency ratio r (relative to
+     * f_max) at which the dynamic power factor equals @p target.
+     * Used by RAPL enforcement to translate a desired power reduction
+     * into a frequency multiplier (including sub-f_min clock
+     * modulation, floored at 5%).
+     */
+    double inverseFreqFactor(double target) const;
+
+  private:
+    const PlatformConfig &config;
+};
+
+} // namespace psm::power
+
+#endif // PSM_POWER_CORE_POWER_HH

@@ -1,0 +1,62 @@
+#include "dram_power.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace psm::power
+{
+
+namespace
+{
+/** Fraction of peak bandwidth still served when the budget equals the
+ * background power (memory controller in maximal throttle). */
+constexpr double trickleFraction = 0.02;
+} // namespace
+
+DramPowerModel::DramPowerModel(const PlatformConfig &config)
+    : config(config)
+{
+}
+
+Watts
+DramPowerModel::backgroundPower() const
+{
+    return config.dramPowerMin;
+}
+
+Watts
+DramPowerModel::channelPower(GBps bandwidth) const
+{
+    psm_assert(bandwidth >= 0.0);
+    bandwidth = std::min(bandwidth, config.channelBandwidth);
+    return backgroundPower() + config.dramEnergyPerGBps * bandwidth;
+}
+
+GBps
+DramPowerModel::bandwidthCeiling(Watts budget) const
+{
+    Watts headroom = budget - backgroundPower();
+    GBps trickle = trickleFraction * config.channelBandwidth;
+    if (headroom <= 0.0)
+        return trickle;
+    GBps ceiling = headroom / config.dramEnergyPerGBps;
+    return std::clamp(ceiling, trickle, config.channelBandwidth);
+}
+
+GBps
+DramPowerModel::servedBandwidth(GBps offered, Watts budget) const
+{
+    psm_assert(offered >= 0.0);
+    return std::min({offered, bandwidthCeiling(budget),
+                     config.channelBandwidth});
+}
+
+Watts
+DramPowerModel::throttledPower(GBps offered, Watts budget) const
+{
+    GBps served = servedBandwidth(offered, budget);
+    return channelPower(served);
+}
+
+} // namespace psm::power

@@ -1,0 +1,124 @@
+#include "platform.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+#include "util/mathutil.hh"
+
+namespace psm::power
+{
+
+int
+PlatformConfig::freqSteps() const
+{
+    return static_cast<int>(
+               std::round((freqMax - freqMin) / freqStep)) + 1;
+}
+
+std::vector<GHz>
+PlatformConfig::freqLevels() const
+{
+    std::vector<GHz> levels;
+    int steps = freqSteps();
+    levels.reserve(static_cast<std::size_t>(steps));
+    for (int i = 0; i < steps; ++i) {
+        // Re-quantize to avoid accumulating floating point drift.
+        levels.push_back(quantize(freqMin + i * freqStep, freqStep));
+    }
+    return levels;
+}
+
+std::vector<Watts>
+PlatformConfig::dramLevels() const
+{
+    std::vector<Watts> levels;
+    for (Watts m = dramPowerMin; m <= dramPowerMax + 1e-9;
+         m += dramPowerStep) {
+        levels.push_back(quantize(m, dramPowerStep));
+    }
+    return levels;
+}
+
+std::vector<int>
+PlatformConfig::coreLevels() const
+{
+    std::vector<int> levels;
+    for (int n = coresMinPerApp; n <= coresMaxPerApp; ++n)
+        levels.push_back(n);
+    return levels;
+}
+
+std::vector<KnobSetting>
+PlatformConfig::knobSpace() const
+{
+    std::vector<KnobSetting> space;
+    auto freqs = freqLevels();
+    auto cores = coreLevels();
+    auto drams = dramLevels();
+    space.reserve(freqs.size() * cores.size() * drams.size());
+    for (GHz f : freqs)
+        for (int n : cores)
+            for (Watts m : drams)
+                space.push_back({f, n, m});
+    return space;
+}
+
+KnobSetting
+PlatformConfig::maxSetting() const
+{
+    return {freqMax, coresMaxPerApp, dramPowerMax};
+}
+
+KnobSetting
+PlatformConfig::minSetting() const
+{
+    return {freqMin, coresMinPerApp, dramPowerMin};
+}
+
+KnobSetting
+PlatformConfig::clampSetting(const KnobSetting &s) const
+{
+    KnobSetting out;
+    out.freq = quantize(std::clamp(s.freq, freqMin, freqMax), freqStep);
+    out.cores = std::clamp(s.cores, coresMinPerApp, coresMaxPerApp);
+    out.dramPower = quantize(
+        std::clamp(s.dramPower, dramPowerMin, dramPowerMax),
+        dramPowerStep);
+    return out;
+}
+
+void
+PlatformConfig::validate() const
+{
+    if (sockets < 1 || coresPerSocket < 1)
+        fatal("platform must have at least one socket and core");
+    if (freqMin <= 0 || freqMax < freqMin || freqStep <= 0)
+        fatal("invalid DVFS range [%f, %f] step %f", freqMin, freqMax,
+              freqStep);
+    if (coresMinPerApp < 1 || coresMaxPerApp < coresMinPerApp ||
+        coresMaxPerApp > totalCores()) {
+        fatal("invalid per-app core range [%d, %d]", coresMinPerApp,
+              coresMaxPerApp);
+    }
+    if (dramPowerMin <= 0 || dramPowerMax < dramPowerMin)
+        fatal("invalid DRAM power range [%f, %f]", dramPowerMin,
+              dramPowerMax);
+    if (idlePower < 0 || cmPower < 0 || corePeakPower <= 0)
+        fatal("power constants must be non-negative");
+    if (coreLinearFraction < 0 || coreLinearFraction > 1)
+        fatal("coreLinearFraction must lie in [0, 1]");
+}
+
+const PlatformConfig &
+defaultPlatform()
+{
+    static const PlatformConfig config = [] {
+        PlatformConfig c;
+        c.validate();
+        return c;
+    }();
+    return config;
+}
+
+} // namespace psm::power

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Platform description mirroring the paper's Table I, plus the power
+ * allocation knob space (f, n, m) from Section II-B.
+ *
+ * The evaluation platform in the paper is a dual-socket Intel Xeon
+ * E5-2620 with 12 cores, 1.2-2.0 GHz DVFS in 9 steps, 15 MB LLC, 8 GB
+ * DDR3 over 2 NUMA nodes, P_idle = 50 W, P_cm = 20 W and up to 60 W of
+ * dynamic power.  Every model in this library is calibrated against
+ * these constants so the reproduction exercises the same operating
+ * points as the paper.
+ */
+
+#ifndef PSM_POWER_PLATFORM_HH
+#define PSM_POWER_PLATFORM_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "util/units.hh"
+
+namespace psm::power
+{
+
+/**
+ * One setting of the three per-application power allocation knobs from
+ * the paper: per-core DVFS frequency (f), number of active cores (n)
+ * and DRAM power budget (m).
+ */
+struct KnobSetting
+{
+    GHz freq = 2.0;        ///< per-core frequency, f
+    int cores = 6;         ///< active core count, n
+    Watts dramPower = 10.0; ///< DRAM RAPL budget, m
+
+    bool
+    operator==(const KnobSetting &o) const
+    {
+        return freq == o.freq && cores == o.cores &&
+               dramPower == o.dramPower;
+    }
+};
+
+/**
+ * Static description of the server hardware (Table I).
+ */
+struct PlatformConfig
+{
+    // --- Topology -------------------------------------------------
+    int sockets = 2;          ///< NUMA nodes
+    int coresPerSocket = 6;   ///< physical cores per socket
+    double llcMb = 15.0;      ///< shared last-level cache per socket
+    double memoryGb = 8.0;    ///< DDR3 capacity
+    GBps channelBandwidth = 12.8; ///< peak bandwidth per memory channel
+
+    // --- DVFS -----------------------------------------------------
+    GHz freqMin = 1.2;        ///< lowest DVFS state
+    GHz freqMax = 2.0;        ///< highest DVFS state
+    GHz freqStep = 0.1;       ///< DVFS granularity (9 steps total)
+
+    // --- Knob ranges (Section II-B) --------------------------------
+    int coresMinPerApp = 1;   ///< n_min
+    int coresMaxPerApp = 6;   ///< n_max
+    Watts dramPowerMin = 3.0; ///< m_min, also DRAM background power
+    Watts dramPowerMax = 10.0; ///< m_max
+    Watts dramPowerStep = 1.0; ///< m granularity
+
+    // --- Calibrated power constants (Table I) ----------------------
+    Watts idlePower = 50.0;   ///< P_idle: fans, disks, leakage, refresh
+    Watts cmPower = 20.0;     ///< P_cm: uncore turn-on cost
+    Watts dynamicPowerMax = 60.0; ///< rated P_dynamic headroom
+
+    /** Peak per-core dynamic power at f_max and full activity. */
+    Watts corePeakPower = 2.7;
+    /**
+     * Fraction of a busy core's dynamic power still burned while the
+     * core stalls on memory (pipeline front-end, clocks and L1/L2 are
+     * not gated during stalls).  Makes idling allocated cores
+     * genuinely expensive, which is what gives core-count
+     * apportioning (the n knob) its power value.
+     */
+    double coreStallPowerFraction = 0.60;
+    /**
+     * Fraction of core dynamic power that scales linearly with f (the
+     * rest scales cubically via voltage scaling).
+     */
+    double coreLinearFraction = 0.65;
+
+    /** Watts of DRAM access power per GB/s of traffic. */
+    double dramEnergyPerGBps = 0.70;
+
+    /** Socket deep-sleep (PC6) wake latency, per Section IV-B. */
+    Tick socketWakeLatency = toTicks(300e-6);
+
+    int totalCores() const { return sockets * coresPerSocket; }
+
+    /** Number of DVFS states (Table I reports 9). */
+    int freqSteps() const;
+
+    /** All DVFS frequencies from freqMin to freqMax inclusive. */
+    std::vector<GHz> freqLevels() const;
+
+    /** All DRAM power budgets from m_min to m_max inclusive. */
+    std::vector<Watts> dramLevels() const;
+
+    /** All core counts from n_min to n_max inclusive. */
+    std::vector<int> coreLevels() const;
+
+    /**
+     * Enumerate the full cartesian knob space for one application
+     * (9 x 6 x 8 = 432 settings on the default platform).
+     */
+    std::vector<KnobSetting> knobSpace() const;
+
+    /** The maximal setting (f_max, n_max, m_max). */
+    KnobSetting maxSetting() const;
+
+    /** The minimal setting (f_min, n_min, m_min). */
+    KnobSetting minSetting() const;
+
+    /** Clamp an arbitrary setting onto the legal, quantized ranges. */
+    KnobSetting clampSetting(const KnobSetting &s) const;
+
+    /** Validate internal consistency; calls fatal() on bad config. */
+    void validate() const;
+};
+
+/** The default platform: the paper's Xeon E5-2620 server. */
+const PlatformConfig &defaultPlatform();
+
+} // namespace psm::power
+
+#endif // PSM_POWER_PLATFORM_HH

@@ -1,0 +1,69 @@
+#include "power_meter.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace psm::power
+{
+
+PowerMeter::PowerMeter(Tick history_resolution)
+    : resolution(history_resolution)
+{
+}
+
+void
+PowerMeter::push(Tick now, Tick dt, Watts power, Watts cap)
+{
+    psm_assert(power >= 0.0);
+    if (dt == 0)
+        return;
+
+    stats.push(power, dt);
+
+    if (cap > 0.0 && power > cap + 1e-9) {
+        violation_time += dt;
+        worst_overshoot = std::max(worst_overshoot, power - cap);
+        violation_energy += energyOver(power - cap, dt);
+    }
+
+    // Merge into the last history sample when it is still within the
+    // retention resolution and carries the same power/cap values, so
+    // steady-state periods compress to a single segment.
+    if (!samples.empty()) {
+        PowerSample &last = samples.back();
+        bool same = last.power == power && last.cap == cap;
+        bool fine = resolution > 0 && last.duration < resolution;
+        if (same || fine) {
+            // Blend power time-weighted when merging unequal samples.
+            double total = toSeconds(last.duration) + toSeconds(dt);
+            last.power = (last.power * toSeconds(last.duration) +
+                          power * toSeconds(dt)) / total;
+            last.cap = cap;
+            last.duration += dt;
+            return;
+        }
+    }
+    samples.push_back({now, dt, power, cap});
+}
+
+void
+PowerMeter::reset()
+{
+    stats.reset();
+    violation_time = 0;
+    worst_overshoot = 0.0;
+    violation_energy = 0.0;
+    samples.clear();
+}
+
+double
+PowerMeter::violationFraction() const
+{
+    if (stats.duration() == 0)
+        return 0.0;
+    return static_cast<double>(violation_time) /
+           static_cast<double>(stats.duration());
+}
+
+} // namespace psm::power

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Server power metering: time series, averages and cap-violation
+ * accounting.
+ *
+ * The meter is fed one sample per simulation step (power held constant
+ * over the step) and provides the aggregate views the evaluation needs:
+ * time-weighted average draw, total energy, time spent above the cap,
+ * and a downsampled history for the timeline figures (Fig. 11/12).
+ */
+
+#ifndef PSM_POWER_POWER_METER_HH
+#define PSM_POWER_POWER_METER_HH
+
+#include <vector>
+
+#include "util/stats.hh"
+#include "util/units.hh"
+
+namespace psm::power
+{
+
+/** One point of the recorded power timeline. */
+struct PowerSample
+{
+    Tick time = 0;       ///< start of the interval
+    Tick duration = 0;   ///< interval length
+    Watts power = 0.0;   ///< server draw over the interval
+    Watts cap = 0.0;     ///< cap in force over the interval
+};
+
+/**
+ * Accumulates the server's power draw against its (possibly changing)
+ * cap.
+ */
+class PowerMeter
+{
+  public:
+    /**
+     * @param history_resolution Minimum spacing between retained
+     *        history samples; finer-grained pushes are merged.  Zero
+     *        retains every sample.
+     */
+    explicit PowerMeter(Tick history_resolution = ticksPerMs * 100);
+
+    /**
+     * Record that the server drew @p power against @p cap for @p dt
+     * ticks starting at @p now.
+     */
+    void push(Tick now, Tick dt, Watts power, Watts cap);
+
+    /** Discard everything. */
+    void reset();
+
+    /** Time-weighted mean draw over the recorded span. */
+    Watts averagePower() const { return stats.mean(); }
+    Watts peakPower() const { return stats.max(); }
+    /** Total energy consumed. */
+    Joules totalEnergy() const { return stats.integral(); }
+    /** Total recorded span. */
+    Tick duration() const { return stats.duration(); }
+
+    /** Ticks during which draw exceeded the in-force cap. */
+    Tick violationTime() const { return violation_time; }
+    /** Largest draw-over-cap excess observed. */
+    Watts worstOvershoot() const { return worst_overshoot; }
+    /** Fraction of recorded time spent above the cap. */
+    double violationFraction() const;
+    /** Energy drawn in excess of the cap (joules above the cap line). */
+    Joules violationEnergy() const { return violation_energy; }
+
+    /** Downsampled timeline for plotting. */
+    const std::vector<PowerSample> &history() const { return samples; }
+
+  private:
+    Tick resolution;
+    TimeWeightedStats stats;
+    Tick violation_time = 0;
+    Watts worst_overshoot = 0.0;
+    Joules violation_energy = 0.0;
+    std::vector<PowerSample> samples;
+};
+
+} // namespace psm::power
+
+#endif // PSM_POWER_POWER_METER_HH

@@ -1,0 +1,49 @@
+#include "server_power.hh"
+
+#include "util/logging.hh"
+
+namespace psm::power
+{
+
+Watts
+PowerBreakdown::appTotal() const
+{
+    Watts sum = 0.0;
+    for (const auto &a : apps)
+        sum += a.total();
+    return sum;
+}
+
+Watts
+PowerBreakdown::serverPower() const
+{
+    return idle + uncore + dramBackground + appTotal();
+}
+
+Watts
+PowerBreakdown::wallPower() const
+{
+    return serverPower() + esdCharge - esdDischarge;
+}
+
+ServerPowerModel::ServerPowerModel(const PlatformConfig &config)
+    : config(config), core_model(config), uncore_model(config),
+      dram_model(config)
+{
+}
+
+PowerBreakdown
+ServerPowerModel::beginBreakdown(bool any_core_active,
+                                 int active_channels) const
+{
+    psm_assert(active_channels >= 0 &&
+               active_channels <= config.sockets);
+    PowerBreakdown b;
+    b.idle = config.idlePower;
+    b.uncore = uncore_model.uncorePower(any_core_active);
+    b.dramBackground =
+        dram_model.backgroundPower() * active_channels;
+    return b;
+}
+
+} // namespace psm::power

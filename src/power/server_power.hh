@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Whole-server power aggregation (Eq. 2 of the paper).
+ *
+ * Total draw = P_idle + P_cm + sum_X P_X + ESD_charge - ESD_discharge.
+ * This module owns the component models and computes the per-interval
+ * breakdown that the simulator meters and the Accountant polls.
+ */
+
+#ifndef PSM_POWER_SERVER_POWER_HH
+#define PSM_POWER_SERVER_POWER_HH
+
+#include <string>
+#include <vector>
+
+#include "core_power.hh"
+#include "dram_power.hh"
+#include "platform.hh"
+#include "uncore_power.hh"
+#include "util/units.hh"
+
+namespace psm::power
+{
+
+/** Power attributed to one running application. */
+struct AppPower
+{
+    std::string app;       ///< application name
+    Watts core = 0.0;      ///< dynamic core power
+    Watts dram = 0.0;      ///< DRAM access power above background
+    Watts base = 0.0;      ///< per-app activation overhead
+
+    Watts total() const { return core + dram + base; }
+};
+
+/** One interval's complete server power breakdown. */
+struct PowerBreakdown
+{
+    Watts idle = 0.0;           ///< P_idle, always present
+    Watts uncore = 0.0;         ///< P_cm when any core is active
+    Watts dramBackground = 0.0; ///< channel background power
+    std::vector<AppPower> apps; ///< per-application dynamic power
+    Watts esdCharge = 0.0;      ///< power flowing into the ESD
+    Watts esdDischarge = 0.0;   ///< power supplied by the ESD
+
+    /** Sum of per-app dynamic power. */
+    Watts appTotal() const;
+
+    /**
+     * Net draw from the provisioned feed (Eq. 2's left-hand side):
+     * idle + uncore + dram background + apps + charge - discharge.
+     */
+    Watts wallPower() const;
+
+    /** Power consumed by the server internals (ignoring the ESD). */
+    Watts serverPower() const;
+};
+
+/**
+ * Owns the component power models for one server and assembles
+ * breakdowns.
+ */
+class ServerPowerModel
+{
+  public:
+    explicit ServerPowerModel(const PlatformConfig &config);
+
+    const PlatformConfig &platform() const { return config; }
+    const CorePowerModel &cores() const { return core_model; }
+    const UncorePowerModel &uncore() const { return uncore_model; }
+    const DramPowerModel &dram() const { return dram_model; }
+
+    /**
+     * Start a breakdown for an interval: fills the always-on
+     * components.
+     *
+     * @param any_core_active Whether P_cm is incurred this interval.
+     * @param active_channels Memory channels out of deep power-down
+     *        (background power is charged per active channel).
+     */
+    PowerBreakdown beginBreakdown(bool any_core_active,
+                                  int active_channels) const;
+
+  private:
+    const PlatformConfig &config;
+    CorePowerModel core_model;
+    UncorePowerModel uncore_model;
+    DramPowerModel dram_model;
+};
+
+} // namespace psm::power
+
+#endif // PSM_POWER_SERVER_POWER_HH

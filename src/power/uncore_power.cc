@@ -1,0 +1,26 @@
+#include "uncore_power.hh"
+
+namespace psm::power
+{
+
+UncorePowerModel::UncorePowerModel(const PlatformConfig &config)
+    : config(config)
+{
+}
+
+Watts
+UncorePowerModel::uncorePower(bool any_core_active) const
+{
+    return any_core_active ? config.cmPower : 0.0;
+}
+
+Joules
+UncorePowerModel::wakeEnergy() const
+{
+    // During the wake window the uncore draws full P_cm without doing
+    // useful work; the window is short (hundreds of microseconds) so
+    // this is a small but non-zero tax on every duty cycle.
+    return energyOver(config.cmPower, config.socketWakeLatency);
+}
+
+} // namespace psm::power

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Chip-maintenance ("uncore") power model — the paper's P_cm.
+ *
+ * Turning on any core also powers the LLC, on-chip network, memory
+ * controller and QPI.  On the paper's server this costs ~20 W and,
+ * crucially, is incurred *once* no matter how many applications run,
+ * which is the source of the non-convexity that Requirement R4
+ * exploits with energy storage (Fig. 5: consolidated duty cycling
+ * amortizes P_cm between apps).
+ *
+ * P_cm vanishes only when every socket enters deep package sleep
+ * (PC6); waking from PC6 takes hundreds of microseconds.
+ */
+
+#ifndef PSM_POWER_UNCORE_POWER_HH
+#define PSM_POWER_UNCORE_POWER_HH
+
+#include "platform.hh"
+#include "util/units.hh"
+
+namespace psm::power
+{
+
+/**
+ * Models P_cm as a step function of server activity, with PC6
+ * entry/exit latency.  The default granularity matches the paper's
+ * measurements: one server-level lump that turns on with the first
+ * active core anywhere.
+ */
+class UncorePowerModel
+{
+  public:
+    explicit UncorePowerModel(const PlatformConfig &config);
+
+    /**
+     * Uncore power for the current activity state.
+     *
+     * @param any_core_active True when at least one core on the
+     *        server is running application work.
+     * @return P_cm when active, 0 when the packages are in PC6.
+     */
+    Watts uncorePower(bool any_core_active) const;
+
+    /** Latency to leave PC6 once work arrives. */
+    Tick wakeLatency() const { return config.socketWakeLatency; }
+
+    /**
+     * Energy overhead of one PC6 exit (uncore re-powering during the
+     * wake window); charged once per sleep/wake cycle.
+     */
+    Joules wakeEnergy() const;
+
+  private:
+    const PlatformConfig &config;
+};
+
+} // namespace psm::power
+
+#endif // PSM_POWER_UNCORE_POWER_HH

@@ -1,0 +1,146 @@
+#include "application.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace psm::sim
+{
+
+namespace
+{
+/** Refill bandwidth assumed while re-warming flushed state. */
+constexpr double warmupRefillGBps = 3.0;
+/** Performance multiplier while the warm-up is in progress. */
+constexpr double warmupPerfFactor = 0.6;
+} // namespace
+
+std::string
+appStateName(AppState state)
+{
+    switch (state) {
+      case AppState::Running:
+        return "running";
+      case AppState::Suspended:
+        return "suspended";
+      case AppState::Finished:
+        return "finished";
+      default:
+        panic("invalid AppState %d", static_cast<int>(state));
+    }
+}
+
+Application::Application(int id, int socket,
+                         const power::PlatformConfig &config,
+                         perf::AppProfile profile)
+    : app_id(id), home_socket(socket),
+      model(config, std::move(profile)),
+      setting(config.maxSetting()),
+      phases({Phase{}})
+{
+    psm_assert(socket >= 0 && socket < config.sockets);
+    // First touch is cold: the app must stage its working set.
+    warmup_left = warmupDuration();
+}
+
+double
+Application::progress() const
+{
+    return std::min(1.0,
+                    done_beats / model.profile().totalHeartbeats);
+}
+
+void
+Application::setKnobs(const power::KnobSetting &knobs)
+{
+    setting = model.platform().clampSetting(knobs);
+}
+
+void
+Application::setPhases(std::vector<Phase> new_phases)
+{
+    psm_assert(!new_phases.empty());
+    double prev = 0.0;
+    for (const auto &ph : new_phases) {
+        psm_assert(ph.untilFraction > prev &&
+                   ph.untilFraction <= 1.0 + 1e-9);
+        psm_assert(ph.cpuScale > 0.0 && ph.memScale >= 0.0);
+        prev = ph.untilFraction;
+    }
+    psm_assert(new_phases.back().untilFraction >= 1.0 - 1e-9);
+    phases = std::move(new_phases);
+}
+
+const Phase &
+Application::currentPhase() const
+{
+    double frac = progress();
+    for (const auto &ph : phases)
+        if (frac < ph.untilFraction)
+            return ph;
+    return phases.back();
+}
+
+Tick
+Application::warmupDuration() const
+{
+    double gb = model.profile().residentStateMb / 1024.0;
+    return toTicks(gb / warmupRefillGBps);
+}
+
+void
+Application::suspend(Tick now)
+{
+    if (run_state != AppState::Running)
+        return;
+    run_state = AppState::Suspended;
+    suspended_since = now;
+}
+
+void
+Application::resume(Tick now)
+{
+    if (run_state != AppState::Suspended)
+        return;
+    run_state = AppState::Running;
+    suspended_time += now - suspended_since;
+    // Private caches were flushed during the off period; refilling
+    // the resident set costs a warm-up window.
+    warmup_left = warmupDuration();
+}
+
+AppStepResult
+Application::step(Tick now, Tick dt, double freq_throttle,
+                  double bw_throttle)
+{
+    AppStepResult result;
+    if (run_state != AppState::Running || dt == 0)
+        return result;
+
+    const Phase &phase = currentPhase();
+    result.op = model.evaluate(setting, freq_throttle, bw_throttle,
+                               phase.cpuScale, phase.memScale);
+
+    double perf_factor = 1.0;
+    if (warmup_left > 0) {
+        Tick warm = std::min(warmup_left, dt);
+        double warm_frac = static_cast<double>(warm) /
+                           static_cast<double>(dt);
+        perf_factor = warm_frac * warmupPerfFactor +
+                      (1.0 - warm_frac);
+        warmup_left -= warm;
+    }
+
+    result.beats = result.op.hbRate * perf_factor * toSeconds(dt);
+    double remaining =
+        model.profile().totalHeartbeats - done_beats;
+    if (result.beats >= remaining) {
+        result.beats = std::max(remaining, 0.0);
+        run_state = AppState::Finished;
+    }
+    done_beats += result.beats;
+    beats.emit(now + dt, dt, result.beats);
+    return result;
+}
+
+} // namespace psm::sim

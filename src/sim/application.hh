@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Runtime state of one application executing on the simulated server.
+ *
+ * Wraps the analytic PerfModel with everything that changes over time:
+ * progress toward completion, the current knob setting, suspension for
+ * temporal coordination (with the cache-flush penalty the paper notes
+ * for duty cycling), and execution phases that change the workload's
+ * compute/memory balance mid-run (the trigger for event E4).
+ */
+
+#ifndef PSM_SIM_APPLICATION_HH
+#define PSM_SIM_APPLICATION_HH
+
+#include <string>
+#include <vector>
+
+#include "perf/heartbeats.hh"
+#include "perf/perf_model.hh"
+#include "power/platform.hh"
+#include "util/units.hh"
+
+namespace psm::sim
+{
+
+/** Lifecycle state of a simulated application. */
+enum class AppState
+{
+    Running,   ///< making progress
+    Suspended, ///< duty-cycled off (SIGSTOP in the paper's framework)
+    Finished,  ///< all heartbeats completed
+};
+
+/** Printable name of an AppState. */
+std::string appStateName(AppState state);
+
+/**
+ * One execution phase: active until the application has completed
+ * @c untilFraction of its heartbeats, scaling per-heartbeat work.
+ */
+struct Phase
+{
+    double untilFraction = 1.0; ///< progress fraction where it ends
+    double cpuScale = 1.0;      ///< multiplier on compute per beat
+    double memScale = 1.0;      ///< multiplier on traffic per beat
+};
+
+/** What one simulation step did for an application. */
+struct AppStepResult
+{
+    perf::OperatingPoint op; ///< operating point over the step
+    double beats = 0.0;      ///< heartbeats earned
+};
+
+/**
+ * An application instance resident on a server.
+ */
+class Application
+{
+  public:
+    /**
+     * @param id Server-assigned identifier.
+     * @param socket Socket (and memory channel) hosting the app.
+     * @param config Platform calibration.
+     * @param profile Workload description.
+     */
+    Application(int id, int socket,
+                const power::PlatformConfig &config,
+                perf::AppProfile profile);
+
+    int id() const { return app_id; }
+    int socket() const { return home_socket; }
+    const std::string &name() const { return model.profile().name; }
+    const perf::PerfModel &perf() const { return model; }
+    const perf::Heartbeats &heartbeats() const { return beats; }
+
+    AppState state() const { return run_state; }
+    bool running() const { return run_state == AppState::Running; }
+    bool finished() const { return run_state == AppState::Finished; }
+
+    /** Completed fraction of the job in [0, 1]. */
+    double progress() const;
+
+    const power::KnobSetting &knobs() const { return setting; }
+    /** Actuate the three power knobs (clamped to platform ranges). */
+    void setKnobs(const power::KnobSetting &knobs);
+
+    /** Replace the phase script (fractions must be increasing). */
+    void setPhases(std::vector<Phase> phases);
+    /** The phase active at the current progress. */
+    const Phase &currentPhase() const;
+
+    /**
+     * Duty-cycle the application off.  Its private-cache state is
+     * flushed; resuming pays a warm-up penalty.  No-op when already
+     * suspended or finished.
+     */
+    void suspend(Tick now);
+
+    /** Resume a suspended application. */
+    void resume(Tick now);
+
+    /**
+     * Advance the application by @p dt while Running.
+     *
+     * @param now Interval start time.
+     * @param dt Interval length.
+     * @param freq_throttle Package RAPL enforcement factor (0, 1].
+     * @param bw_throttle DRAM enforcement factor (0, 1].
+     * @return Operating point and heartbeats earned; all-zero result
+     *         when not Running.
+     */
+    AppStepResult step(Tick now, Tick dt, double freq_throttle = 1.0,
+                       double bw_throttle = 1.0);
+
+    /** Remaining warm-up time after the latest resume. */
+    Tick warmupRemaining() const { return warmup_left; }
+
+    /** Total time spent suspended. */
+    Tick suspendedTime() const { return suspended_time; }
+
+  private:
+    int app_id;
+    int home_socket;
+    perf::PerfModel model;
+    perf::Heartbeats beats;
+    power::KnobSetting setting;
+    AppState run_state = AppState::Running;
+    std::vector<Phase> phases;
+    double done_beats = 0.0;
+    Tick warmup_left = 0;
+    Tick suspended_time = 0;
+    Tick suspended_since = 0;
+
+    /** Warm-up duration implied by the profile's resident state. */
+    Tick warmupDuration() const;
+};
+
+} // namespace psm::sim
+
+#endif // PSM_SIM_APPLICATION_HH

@@ -1,0 +1,35 @@
+#include "event_queue.hh"
+
+#include "util/logging.hh"
+
+namespace psm::sim
+{
+
+void
+EventQueue::schedule(Tick when, Callback cb, std::string label)
+{
+    psm_assert(cb != nullptr);
+    heap.push(Event{when, next_seq++, std::move(label), std::move(cb)});
+}
+
+std::size_t
+EventQueue::runUntil(Tick now)
+{
+    std::size_t fired = 0;
+    while (!heap.empty() && heap.top().when <= now) {
+        // Copy out before pop: the callback may schedule more events.
+        Event ev = heap.top();
+        heap.pop();
+        ev.cb(ev.when);
+        ++fired;
+    }
+    return fired;
+}
+
+Tick
+EventQueue::nextEventTime() const
+{
+    return heap.empty() ? maxTick : heap.top().when;
+}
+
+} // namespace psm::sim

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * A minimal discrete-event queue used to script scenarios against the
+ * time-stepped server simulation: application arrivals, cap changes,
+ * trace replay points.
+ */
+
+#ifndef PSM_SIM_EVENT_QUEUE_HH
+#define PSM_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "util/units.hh"
+
+namespace psm::sim
+{
+
+/**
+ * Time-ordered callback queue.  Events scheduled for the same tick
+ * fire in insertion order.
+ */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void(Tick)>;
+
+    /** Schedule @p cb to fire at @p when. */
+    void schedule(Tick when, Callback cb, std::string label = "");
+
+    /**
+     * Fire every event with time <= @p now, in time order.
+     *
+     * @return Number of events fired.
+     */
+    std::size_t runUntil(Tick now);
+
+    /** Time of the earliest pending event; maxTick when empty. */
+    Tick nextEventTime() const;
+
+    bool empty() const { return heap.empty(); }
+    std::size_t pending() const { return heap.size(); }
+
+  private:
+    struct Event
+    {
+        Tick when;
+        std::uint64_t seq;
+        std::string label;
+        Callback cb;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Event &a, const Event &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    std::priority_queue<Event, std::vector<Event>, Later> heap;
+    std::uint64_t next_seq = 0;
+};
+
+} // namespace psm::sim
+
+#endif // PSM_SIM_EVENT_QUEUE_HH

@@ -1,0 +1,194 @@
+/**
+ * @file
+ * The simulated shared server: the paper's evaluation platform as a
+ * digital twin.
+ *
+ * Hosts up to one application per socket (the paper's co-location
+ * setup), aggregates power per Eq. 2, meters it against the cap,
+ * maintains the emulated RAPL counters/limits that the management
+ * framework observes and actuates, and integrates an optional energy
+ * storage device.
+ *
+ * The server itself is policy-free: it faithfully executes whatever
+ * knob settings, suspensions and ESD charge windows the management
+ * layer (src/core) requests, including bad ones — cap violations are
+ * recorded, not prevented.
+ */
+
+#ifndef PSM_SIM_SERVER_HH
+#define PSM_SIM_SERVER_HH
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "application.hh"
+#include "esd/battery.hh"
+#include "esd/charge_controller.hh"
+#include "perf/app_profile.hh"
+#include "power/platform.hh"
+#include "power/power_meter.hh"
+#include "power/rapl.hh"
+#include "power/server_power.hh"
+#include "util/units.hh"
+
+namespace psm::sim
+{
+
+/** Everything that happened during one simulation step. */
+struct StepResult
+{
+    Tick start = 0;                      ///< step start time
+    Tick duration = 0;                   ///< step length
+    power::PowerBreakdown breakdown;     ///< power flows of the step
+    std::vector<int> finished;           ///< apps that completed
+};
+
+/**
+ * One shared server.
+ */
+class Server
+{
+  public:
+    /**
+     * @param config Platform description (must outlive the server).
+     * @param step_size Simulation step; power is piecewise constant
+     *        over a step.
+     */
+    explicit Server(
+        const power::PlatformConfig &config = power::defaultPlatform(),
+        Tick step_size = ticksPerMs * 10);
+
+    const power::PlatformConfig &platform() const { return config; }
+    const power::ServerPowerModel &powerModel() const { return model; }
+    Tick stepSize() const { return step_ticks; }
+    Tick now() const { return clock; }
+
+    // --- Application lifecycle --------------------------------------
+
+    /**
+     * Admit an application onto a free socket.
+     *
+     * @return The new application's id.
+     *
+     * Calls fatal() when no socket is free — the cluster manager is
+     * responsible for not over-packing servers.
+     */
+    int admit(const perf::AppProfile &profile);
+
+    /** Remove a (typically finished) application, freeing its socket. */
+    void remove(int id);
+
+    bool hasApp(int id) const;
+    Application &app(int id);
+    const Application &app(int id) const;
+
+    /** All resident applications in admission order. */
+    std::vector<Application *> apps();
+    std::vector<const Application *> apps() const;
+
+    /** Resident applications that have not finished. */
+    std::vector<Application *> activeApps();
+
+    /** Number of free sockets. */
+    int freeSockets() const;
+
+    // --- Power control ----------------------------------------------
+
+    /** Set the server power cap P_cap used for metering. */
+    void setCap(Watts cap) { power_cap = cap; }
+    Watts cap() const { return power_cap; }
+
+    /**
+     * Program a package RAPL limit for a socket (limits that socket's
+     * core + per-app base power via frequency throttling) — the
+     * enforcement knob of the Util-Unaware baseline.
+     */
+    void setPackageLimit(int socket, Watts limit);
+    void clearPackageLimit(int socket);
+
+    /** Attach an energy storage device (replaces any existing one). */
+    void attachEsd(const esd::BatteryConfig &esd_config);
+    bool hasEsd() const { return battery_state.has_value(); }
+    esd::Battery *battery();
+    const esd::Battery *battery() const;
+
+    /**
+     * Allow or forbid ESD charging.  Discharge needs no permission:
+     * whenever server demand exceeds the cap and charge is off, the
+     * ESD bridges what it can (Eq. 4).
+     */
+    void setEsdChargeEnabled(bool enabled) { esd_charge = enabled; }
+    bool esdChargeEnabled() const { return esd_charge; }
+
+    // --- Observation (the framework's view) --------------------------
+
+    const power::RaplInterface &rapl() const { return rapl_if; }
+    const power::PowerMeter &meter() const { return power_meter; }
+
+    /**
+     * The app's power draw as software would measure it: the window
+     * averages of its socket's package and DRAM RAPL domains.
+     */
+    Watts observedAppPower(int id) const;
+
+    /** The DRAM share of observedAppPower(). */
+    Watts observedAppDramPower(int id) const;
+
+    /** Window-average wall power (all RAPL domains + constants). */
+    Watts observedServerPower() const;
+
+    /**
+     * Total time both packages have spent in deep sleep (PC6) — no
+     * application running anywhere.  The Fig. 10 discussion's point:
+     * the server is never switched off, only the sockets sleep, with
+     * wake-ups in hundreds of microseconds.
+     */
+    Tick packageSleepTime() const { return pc6_time; }
+
+    /** Number of PC6 exit (wake) transitions. */
+    std::size_t packageWakeCount() const { return pc6_wakes; }
+
+    // --- Simulation ---------------------------------------------------
+
+    /** Advance one step. */
+    StepResult step();
+
+    /**
+     * Step repeatedly for @p duration; returns ids of apps that
+     * finished along the way.
+     */
+    std::vector<int> run(Tick duration);
+
+  private:
+    const power::PlatformConfig &config;
+    power::ServerPowerModel model;
+    power::RaplInterface rapl_if;
+    power::PowerMeter power_meter;
+    Tick step_ticks;
+    Tick clock = 0;
+    Watts power_cap = 0.0;
+    bool esd_charge = false;
+    bool was_active = false;
+    Tick pc6_time = 0;
+    std::size_t pc6_wakes = 0;
+    int next_app_id = 1;
+
+    std::map<int, std::unique_ptr<Application>> resident;
+    std::vector<int> socket_owner; ///< app id per socket, -1 free
+
+    struct EsdState
+    {
+        esd::Battery battery;
+        explicit EsdState(const esd::BatteryConfig &c) : battery(c) {}
+    };
+    std::optional<EsdState> battery_state;
+
+    power::RaplDomainId packageDomain(int socket) const;
+    power::RaplDomainId dramDomain(int socket) const;
+};
+
+} // namespace psm::sim
+
+#endif // PSM_SIM_SERVER_HH

@@ -1,0 +1,74 @@
+#include "logging.hh"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace psm
+{
+
+namespace
+{
+LogLevel globalLevel = LogLevel::Normal;
+
+void
+vreport(FILE *stream, const char *prefix, const char *fmt, va_list ap)
+{
+    std::fprintf(stream, "%s", prefix);
+    std::vfprintf(stream, fmt, ap);
+    std::fprintf(stream, "\n");
+}
+} // namespace
+
+void
+setLogLevel(LogLevel level)
+{
+    globalLevel = level;
+}
+
+LogLevel
+logLevel()
+{
+    return globalLevel;
+}
+
+void
+panic(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    vreport(stderr, "panic: ", fmt, ap);
+    va_end(ap);
+    std::abort();
+}
+
+void
+fatal(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    vreport(stderr, "fatal: ", fmt, ap);
+    va_end(ap);
+    std::exit(1);
+}
+
+void
+warn(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    vreport(stderr, "warn: ", fmt, ap);
+    va_end(ap);
+}
+
+void
+inform(LogLevel level, const char *fmt, ...)
+{
+    if (static_cast<int>(level) > static_cast<int>(globalLevel))
+        return;
+    va_list ap;
+    va_start(ap, fmt);
+    vreport(stdout, "", fmt, ap);
+    va_end(ap);
+}
+
+} // namespace psm

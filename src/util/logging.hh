@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Status/diagnostic reporting helpers in the gem5 tradition.
+ *
+ * panic()  — an internal invariant was violated; aborts.
+ * fatal()  — the user asked for something impossible; exits cleanly.
+ * warn()   — something suspicious happened; execution continues.
+ * inform() — progress/status output, gated by verbosity.
+ */
+
+#ifndef PSM_UTIL_LOGGING_HH
+#define PSM_UTIL_LOGGING_HH
+
+#include <cstdarg>
+#include <string>
+
+namespace psm
+{
+
+/** Verbosity levels for inform(); higher prints more. */
+enum class LogLevel
+{
+    Quiet = 0,   ///< only warnings and errors
+    Normal = 1,  ///< high-level progress messages
+    Verbose = 2, ///< per-event detail
+    Debug = 3,   ///< per-tick detail
+};
+
+/** Set the global verbosity threshold for inform(). */
+void setLogLevel(LogLevel level);
+
+/** Current global verbosity threshold. */
+LogLevel logLevel();
+
+/**
+ * Report an internal simulator bug and abort with a core dump.
+ *
+ * Call when a condition that should be impossible regardless of user
+ * input has occurred.
+ */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/**
+ * Report an unrecoverable user/configuration error and exit(1).
+ */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/**
+ * Report a suspicious but survivable condition to stderr.
+ */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/**
+ * Report a status message to stdout if the verbosity threshold allows.
+ *
+ * @param level Minimum verbosity at which this message appears.
+ */
+void inform(LogLevel level, const char *fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+/**
+ * Assert a simulator invariant; on failure calls panic() with location
+ * information.  Unlike <cassert> this is always active.
+ */
+#define psm_assert(cond, ...)                                              \
+    do {                                                                   \
+        if (!(cond)) {                                                     \
+            ::psm::panic("assertion '%s' failed at %s:%d", #cond,          \
+                         __FILE__, __LINE__);                              \
+        }                                                                  \
+    } while (0)
+
+} // namespace psm
+
+#endif // PSM_UTIL_LOGGING_HH

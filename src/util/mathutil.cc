@@ -1,0 +1,69 @@
+#include "mathutil.hh"
+
+#include <cmath>
+
+#include "logging.hh"
+
+namespace psm
+{
+
+std::vector<double>
+linspace(double lo, double hi, std::size_t n)
+{
+    psm_assert(n >= 2);
+    std::vector<double> out(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        out[i] = lerp(lo, hi,
+                      static_cast<double>(i) / static_cast<double>(n - 1));
+    }
+    return out;
+}
+
+double
+interpolate(const std::vector<double> &xs, const std::vector<double> &ys,
+            double x)
+{
+    psm_assert(xs.size() == ys.size() && !xs.empty());
+    if (x <= xs.front())
+        return ys.front();
+    if (x >= xs.back())
+        return ys.back();
+    // Binary search for the bracketing segment.
+    std::size_t lo = 0;
+    std::size_t hi = xs.size() - 1;
+    while (hi - lo > 1) {
+        std::size_t mid = (lo + hi) / 2;
+        if (xs[mid] <= x)
+            lo = mid;
+        else
+            hi = mid;
+    }
+    double t = (x - xs[lo]) / (xs[hi] - xs[lo]);
+    return lerp(ys[lo], ys[hi], t);
+}
+
+double
+quantize(double value, double step)
+{
+    psm_assert(step > 0.0);
+    return std::round(value / step) * step;
+}
+
+double
+saturating(double x, double ceiling, double k)
+{
+    if (x <= 0.0)
+        return 0.0;
+    return ceiling * (1.0 - std::exp(-k * x));
+}
+
+double
+amdahlSpeedup(double n, double parallel_fraction)
+{
+    psm_assert(n >= 1.0);
+    psm_assert(parallel_fraction >= 0.0 && parallel_fraction <= 1.0);
+    double serial = 1.0 - parallel_fraction;
+    return 1.0 / (serial + parallel_fraction / n);
+}
+
+} // namespace psm

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Small numeric helpers shared by power/performance models and the
+ * allocator's search routines.
+ */
+
+#ifndef PSM_UTIL_MATHUTIL_HH
+#define PSM_UTIL_MATHUTIL_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace psm
+{
+
+/** Linear interpolation: a + t * (b - a). */
+constexpr double
+lerp(double a, double b, double t)
+{
+    return a + t * (b - a);
+}
+
+/** n evenly spaced samples covering [lo, hi] inclusive (n >= 2). */
+std::vector<double> linspace(double lo, double hi, std::size_t n);
+
+/**
+ * Piecewise-linear interpolation through (xs, ys) pairs; xs must be
+ * strictly increasing.  Queries outside the range clamp to the end
+ * values.
+ */
+double interpolate(const std::vector<double> &xs,
+                   const std::vector<double> &ys, double x);
+
+/** True when |a - b| <= tol. */
+constexpr bool
+nearlyEqual(double a, double b, double tol = 1e-9)
+{
+    double diff = a - b;
+    return diff <= tol && diff >= -tol;
+}
+
+/**
+ * Round @p value to the nearest multiple of @p step (step > 0).
+ */
+double quantize(double value, double step);
+
+/**
+ * Saturating exponential utility: rises from 0 toward @p ceiling with
+ * rate @p k; used for DRAM-power -> bandwidth curves.
+ *
+ * f(x) = ceiling * (1 - exp(-k * x))
+ */
+double saturating(double x, double ceiling, double k);
+
+/** Amdahl's-law speedup of n workers with parallel fraction p. */
+double amdahlSpeedup(double n, double parallel_fraction);
+
+} // namespace psm
+
+#endif // PSM_UTIL_MATHUTIL_HH

@@ -1,0 +1,26 @@
+#include "random.hh"
+
+#include "logging.hh"
+
+namespace psm
+{
+
+std::vector<std::size_t>
+Rng::sampleIndices(std::size_t n, std::size_t k)
+{
+    psm_assert(k <= n);
+    std::vector<std::size_t> idx(n);
+    for (std::size_t i = 0; i < n; ++i)
+        idx[i] = i;
+    // Partial Fisher-Yates: after k swaps the first k entries are a
+    // uniform sample without replacement.
+    for (std::size_t i = 0; i < k; ++i) {
+        std::size_t j = i + static_cast<std::size_t>(uniformInt(
+                                0, static_cast<int>(n - i) - 1));
+        std::swap(idx[i], idx[j]);
+    }
+    idx.resize(k);
+    return idx;
+}
+
+} // namespace psm

@@ -1,0 +1,140 @@
+#include "table.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+#include <ostream>
+
+#include "logging.hh"
+
+namespace psm
+{
+
+std::string
+fmtDouble(double value, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+    return buf;
+}
+
+std::string
+fmtPercent(double ratio, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f%%", precision, ratio * 100.0);
+    return buf;
+}
+
+Table::Table(std::vector<std::string> headers) : headers(std::move(headers))
+{
+    psm_assert(!this->headers.empty());
+}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    psm_assert(cells.size() == headers.size());
+    rows.push_back(std::move(cells));
+}
+
+Table &
+Table::beginRow()
+{
+    psm_assert(!building);
+    building = true;
+    pending.clear();
+    return *this;
+}
+
+Table &
+Table::cell(const std::string &value)
+{
+    psm_assert(building);
+    pending.push_back(value);
+    return *this;
+}
+
+Table &
+Table::cell(double value, int precision)
+{
+    return cell(fmtDouble(value, precision));
+}
+
+Table &
+Table::cell(long value)
+{
+    return cell(std::to_string(value));
+}
+
+void
+Table::endRow()
+{
+    psm_assert(building);
+    building = false;
+    addRow(std::move(pending));
+    pending.clear();
+}
+
+const std::string &
+Table::at(std::size_t row, std::size_t col) const
+{
+    return rows.at(row).at(col);
+}
+
+void
+Table::print(std::ostream &os) const
+{
+    std::vector<std::size_t> widths(headers.size());
+    for (std::size_t c = 0; c < headers.size(); ++c)
+        widths[c] = headers[c].size();
+    for (const auto &row : rows)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    auto emit = [&](const std::vector<std::string> &cells) {
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            os << cells[c]
+               << std::string(widths[c] - cells[c].size() + 2, ' ');
+        }
+        os << '\n';
+    };
+
+    emit(headers);
+    std::size_t rule = 0;
+    for (std::size_t w : widths)
+        rule += w + 2;
+    os << std::string(rule, '-') << '\n';
+    for (const auto &row : rows)
+        emit(row);
+}
+
+void
+Table::printCsv(std::ostream &os) const
+{
+    auto emit = [&](const std::vector<std::string> &cells) {
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            if (c)
+                os << ',';
+            bool quote = cells[c].find(',') != std::string::npos;
+            if (quote)
+                os << '"' << cells[c] << '"';
+            else
+                os << cells[c];
+        }
+        os << '\n';
+    };
+    emit(headers);
+    for (const auto &row : rows)
+        emit(row);
+}
+
+void
+Table::print(const std::string &caption) const
+{
+    std::cout << '\n' << caption << '\n';
+    print(std::cout);
+    std::cout.flush();
+}
+
+} // namespace psm

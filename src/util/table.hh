@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Console table / CSV emission used by the benchmark harness to print
+ * the rows and series reported in each of the paper's tables and
+ * figures.
+ */
+
+#ifndef PSM_UTIL_TABLE_HH
+#define PSM_UTIL_TABLE_HH
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace psm
+{
+
+/**
+ * A simple row-oriented table that renders either as an aligned
+ * monospace grid (for terminal output) or as CSV (for plotting).
+ *
+ * Cells are stored as strings; numeric convenience setters format with
+ * a fixed precision.  The table is append-only.
+ */
+class Table
+{
+  public:
+    /** Construct with column headers. */
+    explicit Table(std::vector<std::string> headers);
+
+    /** Append a fully-formed row; must match the header width. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Begin building a row cell by cell. */
+    Table &beginRow();
+    /** Append a string cell to the row being built. */
+    Table &cell(const std::string &value);
+    /** Append a numeric cell with the given decimal precision. */
+    Table &cell(double value, int precision = 2);
+    /** Append an integer cell. */
+    Table &cell(long value);
+    /** Finish the row being built; must match the header width. */
+    void endRow();
+
+    std::size_t rowCount() const { return rows.size(); }
+    std::size_t columnCount() const { return headers.size(); }
+    const std::string &at(std::size_t row, std::size_t col) const;
+
+    /** Render as an aligned grid with a rule under the header. */
+    void print(std::ostream &os) const;
+    /** Render as RFC-4180-ish CSV (quotes cells containing commas). */
+    void printCsv(std::ostream &os) const;
+    /** Convenience: print the grid to stdout with a caption line. */
+    void print(const std::string &caption) const;
+
+  private:
+    std::vector<std::string> headers;
+    std::vector<std::vector<std::string>> rows;
+    std::vector<std::string> pending;
+    bool building = false;
+};
+
+/** Format a double with fixed precision (helper for table cells). */
+std::string fmtDouble(double value, int precision = 2);
+
+/** Format a ratio as a percent string, e.g. 0.37 -> "37.0%". */
+std::string fmtPercent(double ratio, int precision = 1);
+
+} // namespace psm
+
+#endif // PSM_UTIL_TABLE_HH

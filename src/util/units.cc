@@ -1,0 +1,24 @@
+#include "units.hh"
+
+#include <cstdio>
+
+namespace psm
+{
+
+std::string
+formatTime(Tick t)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.4f s", toSeconds(t));
+    return buf;
+}
+
+std::string
+formatPower(Watts p)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.1f W", p);
+    return buf;
+}
+
+} // namespace psm

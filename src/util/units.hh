@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Physical units and simulated-time primitives used across the library.
+ *
+ * The simulator models electrical power flows and application progress on
+ * a shared server.  To keep arithmetic ergonomic we represent physical
+ * quantities as doubles with strongly-named aliases, and simulated time as
+ * an integral tick count (1 tick = 100 microseconds) so that time
+ * comparisons are exact and event ordering is deterministic.
+ */
+
+#ifndef PSM_UTIL_UNITS_HH
+#define PSM_UTIL_UNITS_HH
+
+#include <cstdint>
+#include <string>
+
+namespace psm
+{
+
+/** Electrical power in watts. */
+using Watts = double;
+
+/** Energy in joules. */
+using Joules = double;
+
+/** Core clock frequency in gigahertz. */
+using GHz = double;
+
+/** Memory bandwidth in gigabytes per second. */
+using GBps = double;
+
+/** Simulated time expressed in ticks. */
+using Tick = std::uint64_t;
+
+/** Number of simulation ticks in one second (tick = 100 us). */
+constexpr Tick ticksPerSecond = 10000;
+
+/** Number of simulation ticks in one millisecond. */
+constexpr Tick ticksPerMs = ticksPerSecond / 1000;
+
+/** Largest representable tick, used as "never" for event scheduling. */
+constexpr Tick maxTick = UINT64_MAX;
+
+/**
+ * Convert a tick count to seconds.
+ *
+ * @param t Tick count.
+ * @return Equivalent wall-clock seconds in simulated time.
+ */
+constexpr double
+toSeconds(Tick t)
+{
+    return static_cast<double>(t) / static_cast<double>(ticksPerSecond);
+}
+
+/**
+ * Convert seconds to the nearest tick count.
+ *
+ * @param s Simulated seconds; negative values clamp to zero.
+ * @return Equivalent tick count.
+ */
+constexpr Tick
+toTicks(double s)
+{
+    if (s <= 0.0)
+        return 0;
+    return static_cast<Tick>(s * static_cast<double>(ticksPerSecond) + 0.5);
+}
+
+/**
+ * Integrate power over a tick interval to obtain energy.
+ *
+ * @param p Constant power over the interval.
+ * @param dt Interval length in ticks.
+ * @return Energy in joules.
+ */
+constexpr Joules
+energyOver(Watts p, Tick dt)
+{
+    return p * toSeconds(dt);
+}
+
+/**
+ * Format a tick count as a human-readable duration ("12.345 s").
+ */
+std::string formatTime(Tick t);
+
+/**
+ * Format a power value as a human-readable string ("87.3 W").
+ */
+std::string formatPower(Watts p);
+
+} // namespace psm
+
+#endif // PSM_UTIL_UNITS_HH

@@ -1,0 +1,241 @@
+/**
+ * @file
+ * Tests for the PowerAllocator: the knapsack DP (R1/R2), temporal
+ * planning (R3b) and ESD planning with Eq. 5 (R4).
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "cf/profiler.hh"
+#include "core/power_allocator.hh"
+#include "esd/battery.hh"
+#include "perf/perf_model.hh"
+#include "perf/workloads.hh"
+#include "util/random.hh"
+
+namespace psm::core
+{
+namespace
+{
+
+using power::defaultPlatform;
+
+class AllocatorTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        const auto &plat = defaultPlatform();
+        settings = plat.knobSpace();
+        cf::Profiler prof(plat, 0.0);
+        Rng rng(1);
+        for (const char *name : {"stream", "kmeans"}) {
+            perf::PerfModel model(plat, perf::workload(name));
+            std::vector<double> p, h;
+            prof.measureAll(model, p, h, rng);
+            curves.push_back(std::make_unique<UtilityCurve>(
+                name, settings,
+                cf::UtilityEstimator::surfaceFromRows(p, h),
+                KnobFreedom::All));
+        }
+        ptrs = {curves[0].get(), curves[1].get()};
+    }
+
+    std::vector<power::KnobSetting> settings;
+    std::vector<std::unique_ptr<UtilityCurve>> curves;
+    std::vector<const UtilityCurve *> ptrs;
+    PowerAllocator allocator;
+};
+
+TEST_F(AllocatorTest, StaysWithinBudget)
+{
+    for (double budget : {8.0, 12.0, 20.0, 29.4, 45.0}) {
+        Allocation alloc = allocator.allocate(ptrs, budget);
+        EXPECT_LE(alloc.used, budget + 1e-6) << budget;
+        double perf_sum = 0.0;
+        for (const auto &a : alloc.apps)
+            perf_sum += a.expectedPerf;
+        EXPECT_NEAR(alloc.objective, perf_sum, 1e-9);
+    }
+}
+
+TEST_F(AllocatorTest, NeverWorseThanEqualSplit)
+{
+    // Property (the R1 claim): the utility-aware DP dominates the
+    // fair split at every budget.
+    for (double budget = 6.0; budget <= 46.0; budget += 2.0) {
+        Allocation dp = allocator.allocate(ptrs, budget);
+        Allocation eq = allocator.equalSplit(ptrs, budget);
+        EXPECT_GE(dp.objective, eq.objective - 1e-9)
+            << "budget " << budget;
+    }
+}
+
+TEST_F(AllocatorTest, ObjectiveMonotoneWithinEachRegime)
+{
+    // Once the budget covers both minima the allocator reserves them
+    // (nobody starves), so the objective is monotone above that
+    // threshold, and separately monotone below it (starved regime).
+    double mins = curves[0]->minPower() + curves[1]->minPower();
+    double prev = 0.0;
+    for (double budget = 4.0; budget < mins; budget += 1.0) {
+        Allocation alloc = allocator.allocate(ptrs, budget);
+        EXPECT_GE(alloc.objective, prev - 1e-9) << budget;
+        prev = alloc.objective;
+    }
+    prev = 0.0;
+    for (double budget = mins + 0.5; budget <= 50.0; budget += 1.0) {
+        Allocation alloc = allocator.allocate(ptrs, budget);
+        EXPECT_TRUE(alloc.allScheduled()) << budget;
+        EXPECT_GE(alloc.objective, prev - 1e-9) << budget;
+        prev = alloc.objective;
+    }
+}
+
+TEST_F(AllocatorTest, GenerousBudgetSchedulesEveryoneAtMax)
+{
+    Allocation alloc = allocator.allocate(ptrs, 100.0);
+    EXPECT_TRUE(alloc.allScheduled());
+    EXPECT_NEAR(alloc.objective, 2.0, 1e-6);
+}
+
+TEST_F(AllocatorTest, TinyBudgetSchedulesAtMostOne)
+{
+    double budget = curves[0]->minPower() + 0.5;
+    Allocation alloc = allocator.allocate(ptrs, budget);
+    EXPECT_FALSE(alloc.allScheduled());
+    int scheduled = 0;
+    for (const auto &a : alloc.apps)
+        scheduled += a.scheduled();
+    EXPECT_LE(scheduled, 1);
+}
+
+TEST_F(AllocatorTest, EqualSplitReportsUnscheduledApps)
+{
+    Allocation eq = allocator.equalSplit(ptrs, 8.0); // 4 W each
+    for (const auto &a : eq.apps)
+        EXPECT_FALSE(a.scheduled());
+    EXPECT_DOUBLE_EQ(eq.objective, 0.0);
+}
+
+TEST_F(AllocatorTest, SlackIsDistributed)
+{
+    // With a budget between frontier points the greedy pass should
+    // leave little slack unused.
+    Allocation alloc = allocator.allocate(ptrs, 29.4);
+    EXPECT_TRUE(alloc.allScheduled());
+    EXPECT_GT(alloc.used, 29.4 - 1.5);
+}
+
+// --- Temporal plans -------------------------------------------------------
+
+TEST_F(AllocatorTest, TemporalSharesSumToOne)
+{
+    for (ShareMode mode :
+         {ShareMode::Equal, ShareMode::UtilityWeighted}) {
+        TemporalPlan plan = allocator.temporalPlan(ptrs, 12.0, mode);
+        ASSERT_EQ(plan.slots.size(), 2u);
+        double total = 0.0;
+        for (const auto &s : plan.slots) {
+            EXPECT_GT(s.share, 0.0);
+            total += s.share;
+            EXPECT_LE(s.point.power, 12.0 + 1e-9);
+        }
+        EXPECT_NEAR(total, 1.0, 1e-9);
+    }
+}
+
+TEST_F(AllocatorTest, TemporalEqualSharesAreFair)
+{
+    TemporalPlan plan =
+        allocator.temporalPlan(ptrs, 12.0, ShareMode::Equal);
+    for (const auto &s : plan.slots)
+        EXPECT_DOUBLE_EQ(s.share, 0.5);
+}
+
+TEST_F(AllocatorTest, TemporalRespectsShareFloor)
+{
+    AllocatorConfig cfg;
+    cfg.shareFloor = 0.4;
+    PowerAllocator floored(cfg);
+    TemporalPlan plan = floored.temporalPlan(
+        ptrs, 12.0, ShareMode::UtilityWeighted);
+    for (const auto &s : plan.slots)
+        EXPECT_GE(s.share, 0.4 / 2.0 - 1e-9);
+}
+
+TEST_F(AllocatorTest, TemporalReportsUnschedulable)
+{
+    TemporalPlan plan = allocator.temporalPlan(
+        ptrs, curves[0]->minPower() - 1.0, ShareMode::Equal);
+    EXPECT_TRUE(plan.slots.empty() || !plan.unschedulable.empty());
+}
+
+// --- ESD plans -------------------------------------------------------------
+
+TEST_F(AllocatorTest, EsdPlanImplementsEqFive)
+{
+    const auto &plat = defaultPlatform();
+    esd::BatteryConfig esd = esd::leadAcidUps();
+    EsdPlan plan = allocator.esdPlan(ptrs, plat.idlePower,
+                                     plat.cmPower, 80.0, esd);
+    ASSERT_TRUE(plan.viable);
+    EXPECT_TRUE(plan.onAllocation.allScheduled());
+    EXPECT_GT(plan.offFraction, 0.0);
+    EXPECT_LT(plan.offFraction, 1.0);
+    EXPECT_LE(plan.deficit, esd.maxDischargePower + 1e-9);
+
+    // Verify Eq. 5: off/on = deficit / (eta * charge).
+    double off_over_on = plan.offFraction / (1.0 - plan.offFraction);
+    double expected = plan.deficit /
+                      (esd.roundTripEfficiency() * plan.chargePower);
+    EXPECT_NEAR(off_over_on, expected, 1e-6);
+
+    // Energy balance: what is banked during OFF covers ON.
+    double banked = plan.offFraction * plan.chargePower *
+                    esd.roundTripEfficiency();
+    double spent = (1.0 - plan.offFraction) * plan.deficit;
+    EXPECT_NEAR(banked, spent, 1e-6);
+}
+
+TEST_F(AllocatorTest, EsdPlanNotViableWithoutChargeHeadroom)
+{
+    const auto &plat = defaultPlatform();
+    // Cap at P_idle: no headroom ever.
+    EsdPlan plan = allocator.esdPlan(ptrs, plat.idlePower,
+                                     plat.cmPower, plat.idlePower,
+                                     esd::leadAcidUps());
+    EXPECT_FALSE(plan.viable);
+}
+
+TEST_F(AllocatorTest, EsdPlanRunsBothAppsAtSeventyWatts)
+{
+    // The paper's most stringent scenario: only the ESD scheme makes
+    // progress at 70 W.
+    const auto &plat = defaultPlatform();
+    EsdPlan plan = allocator.esdPlan(ptrs, plat.idlePower,
+                                     plat.cmPower, 70.0,
+                                     esd::leadAcidUps());
+    ASSERT_TRUE(plan.viable);
+    EXPECT_TRUE(plan.onAllocation.allScheduled());
+    EXPECT_GT(plan.objective, 0.0);
+    // OFF dominates at such a tight cap.
+    EXPECT_GT(plan.offFraction, 0.4);
+}
+
+TEST_F(AllocatorTest, LooseCapNeedsNoOffPeriod)
+{
+    const auto &plat = defaultPlatform();
+    EsdPlan plan = allocator.esdPlan(ptrs, plat.idlePower,
+                                     plat.cmPower, 150.0,
+                                     esd::leadAcidUps());
+    ASSERT_TRUE(plan.viable);
+    EXPECT_DOUBLE_EQ(plan.offFraction, 0.0);
+    EXPECT_DOUBLE_EQ(plan.deficit, 0.0);
+}
+
+} // namespace
+} // namespace psm::core

@@ -1,0 +1,217 @@
+/**
+ * @file
+ * Tests for the energy storage device and charge controller.
+ */
+
+#include <gtest/gtest.h>
+
+#include "esd/battery.hh"
+#include "esd/charge_controller.hh"
+
+namespace psm::esd
+{
+namespace
+{
+
+BatteryConfig
+idealSmall()
+{
+    BatteryConfig c;
+    c.capacity = 100.0;
+    c.maxChargePower = 10.0;
+    c.maxDischargePower = 20.0;
+    c.chargeEfficiency = 1.0;
+    c.dischargeEfficiency = 1.0;
+    c.selfDischargePerHour = 0.0;
+    return c;
+}
+
+TEST(BatteryConfig, RoundTripEfficiency)
+{
+    BatteryConfig c = leadAcidUps();
+    EXPECT_NEAR(c.roundTripEfficiency(), 0.90 * 0.89, 1e-12);
+    EXPECT_NO_FATAL_FAILURE(c.validate());
+}
+
+TEST(BatteryConfigDeath, ValidationCatchesBadValues)
+{
+    BatteryConfig c = leadAcidUps();
+    c.capacity = 0.0;
+    EXPECT_DEATH(c.validate(), "capacity");
+
+    BatteryConfig d = leadAcidUps();
+    d.chargeEfficiency = 1.5;
+    EXPECT_DEATH(d.validate(), "efficienc");
+}
+
+TEST(Battery, StartsAtConfiguredSoc)
+{
+    BatteryConfig c = idealSmall();
+    c.initialSoc = 0.5;
+    Battery b(c);
+    EXPECT_NEAR(b.stored(), 50.0, 1e-9);
+    EXPECT_NEAR(b.soc(), 0.5, 1e-9);
+    EXPECT_FALSE(b.full());
+    EXPECT_FALSE(b.empty());
+}
+
+TEST(Battery, ChargeStoresEnergyUpToCapacity)
+{
+    Battery b(idealSmall());
+    // 10 W for 5 s stores 50 J.
+    Watts drawn = b.charge(10.0, 5 * ticksPerSecond);
+    EXPECT_NEAR(drawn, 10.0, 1e-9);
+    EXPECT_NEAR(b.stored(), 50.0, 1e-9);
+    // Another 10 s would exceed capacity; the charge tapers.
+    drawn = b.charge(10.0, 10 * ticksPerSecond);
+    EXPECT_LT(drawn, 10.0);
+    EXPECT_NEAR(b.stored(), 100.0, 1e-9);
+    EXPECT_TRUE(b.full());
+    // Full battery accepts nothing.
+    EXPECT_DOUBLE_EQ(b.charge(10.0, ticksPerSecond), 0.0);
+}
+
+TEST(Battery, ChargePowerLimitEnforced)
+{
+    Battery b(idealSmall());
+    Watts drawn = b.charge(100.0, ticksPerSecond);
+    EXPECT_NEAR(drawn, 10.0, 1e-9); // limited to maxChargePower
+}
+
+TEST(Battery, DischargeDeliversStoredEnergy)
+{
+    BatteryConfig c = idealSmall();
+    c.initialSoc = 1.0;
+    Battery b(c);
+    Watts delivered = b.discharge(20.0, 2 * ticksPerSecond);
+    EXPECT_NEAR(delivered, 20.0, 1e-9);
+    EXPECT_NEAR(b.stored(), 60.0, 1e-9);
+    // Request above the discharge limit is clipped.
+    delivered = b.discharge(100.0, ticksPerSecond);
+    EXPECT_NEAR(delivered, 20.0, 1e-9);
+}
+
+TEST(Battery, DischargeTapersWhenNearlyEmpty)
+{
+    BatteryConfig c = idealSmall();
+    c.initialSoc = 0.1; // 10 J
+    Battery b(c);
+    // Asking 20 W for 1 s needs 20 J; only 10 J are there.
+    Watts delivered = b.discharge(20.0, ticksPerSecond);
+    EXPECT_NEAR(delivered, 10.0, 1e-9);
+    EXPECT_TRUE(b.empty());
+    EXPECT_DOUBLE_EQ(b.discharge(20.0, ticksPerSecond), 0.0);
+}
+
+TEST(Battery, EfficiencyLossesApplied)
+{
+    BatteryConfig c = idealSmall();
+    c.chargeEfficiency = 0.9;
+    c.dischargeEfficiency = 0.8;
+    Battery b(c);
+    b.charge(10.0, 4 * ticksPerSecond); // 40 J from wall -> 36 J stored
+    EXPECT_NEAR(b.stored(), 36.0, 1e-9);
+    // Delivering 8 W for 1 s drains 10 J from the store.
+    b.discharge(8.0, ticksPerSecond);
+    EXPECT_NEAR(b.stored(), 26.0, 1e-9);
+    EXPECT_NEAR(b.totalChargedFromWall(), 40.0, 1e-9);
+    EXPECT_NEAR(b.totalDelivered(), 8.0, 1e-9);
+}
+
+TEST(Battery, SustainTimeAndTimeToFull)
+{
+    BatteryConfig c = idealSmall();
+    c.initialSoc = 1.0;
+    Battery b(c);
+    // 100 J at 20 W lasts 5 s.
+    EXPECT_EQ(b.sustainTime(20.0), 5 * ticksPerSecond);
+    EXPECT_EQ(b.sustainTime(0.0), maxTick);
+
+    Battery e(idealSmall());
+    // 100 J at 10 W charge takes 10 s.
+    EXPECT_EQ(e.timeToFull(10.0), 10 * ticksPerSecond);
+    EXPECT_EQ(e.timeToFull(0.0), maxTick);
+}
+
+TEST(Battery, SelfDischargeDecaysStore)
+{
+    BatteryConfig c = idealSmall();
+    c.initialSoc = 1.0;
+    c.selfDischargePerHour = 0.10;
+    Battery b(c);
+    b.rest(toTicks(3600.0));
+    EXPECT_NEAR(b.stored(), 90.0, 0.1);
+}
+
+TEST(Battery, EquivalentCyclesCountDischargeThroughput)
+{
+    BatteryConfig c = idealSmall();
+    c.initialSoc = 1.0;
+    Battery b(c);
+    b.discharge(20.0, 5 * ticksPerSecond); // one full capacity
+    EXPECT_NEAR(b.equivalentCycles(), 1.0, 1e-6);
+}
+
+TEST(Battery, PaperExampleBanksTwoHundredJoules)
+{
+    // Fig. 5's walk-through: 20 W of headroom for 10 s banks 200 J.
+    Battery b(paperExampleEsd());
+    b.charge(20.0, 10 * ticksPerSecond);
+    EXPECT_NEAR(b.stored(), 200.0, 1e-6);
+    EXPECT_TRUE(b.full());
+}
+
+// --- ChargeController ----------------------------------------------------
+
+TEST(ChargeController, PlansChargeFromHeadroom)
+{
+    Battery b(idealSmall());
+    ChargeController ctl(b);
+    // Demand 60 under a 70 cap: 10 W of headroom, all chargeable.
+    EsdFlow flow = ctl.plan(60.0, 70.0);
+    EXPECT_NEAR(flow.charge, 10.0, 1e-9);
+    EXPECT_DOUBLE_EQ(flow.discharge, 0.0);
+
+    // Charging can be disallowed (ON phases).
+    flow = ctl.plan(60.0, 70.0, false);
+    EXPECT_DOUBLE_EQ(flow.charge, 0.0);
+}
+
+TEST(ChargeController, PlansDischargeForDeficit)
+{
+    BatteryConfig c = idealSmall();
+    c.initialSoc = 1.0;
+    Battery b(c);
+    ChargeController ctl(b);
+    // Demand 85 above an 80 cap: bridge 5 W (Eq. 4).
+    EsdFlow flow = ctl.plan(85.0, 80.0);
+    EXPECT_NEAR(flow.discharge, 5.0, 1e-9);
+    EXPECT_DOUBLE_EQ(flow.charge, 0.0);
+    // Deficit above the discharge limit is clipped.
+    flow = ctl.plan(200.0, 80.0);
+    EXPECT_NEAR(flow.discharge, 20.0, 1e-9);
+}
+
+TEST(ChargeController, EmptyBatteryCannotBridge)
+{
+    Battery b(idealSmall());
+    ChargeController ctl(b);
+    EsdFlow flow = ctl.plan(100.0, 80.0);
+    EXPECT_DOUBLE_EQ(flow.discharge, 0.0);
+}
+
+TEST(ChargeController, ApplyMovesEnergy)
+{
+    Battery b(idealSmall());
+    ChargeController ctl(b);
+    EsdFlow actual = ctl.apply({10.0, 0.0}, 2 * ticksPerSecond);
+    EXPECT_NEAR(actual.charge, 10.0, 1e-9);
+    EXPECT_NEAR(b.stored(), 20.0, 1e-9);
+
+    actual = ctl.apply({0.0, 20.0}, ticksPerSecond);
+    EXPECT_NEAR(actual.discharge, 20.0, 1e-9);
+    EXPECT_NEAR(b.stored(), 0.0, 1e-9);
+}
+
+} // namespace
+} // namespace psm::esd

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Regression tests for the paper's headline claims: these pin the
+ * *shape* of the reproduction (who wins, roughly by how much) so a
+ * refactor cannot silently break a figure.  Thresholds are set with
+ * slack below the currently measured values (see EXPERIMENTS.md).
+ */
+
+#include <gtest/gtest.h>
+
+#include "cluster/cluster_manager.hh"
+#include "core/manager.hh"
+#include "perf/workloads.hh"
+
+namespace psm
+{
+namespace
+{
+
+double
+mixThroughput(int mix_id, core::PolicyKind policy, Watts cap,
+              bool esd)
+{
+    sim::Server server;
+    if (esd)
+        server.attachEsd(esd::leadAcidUps());
+    server.setCap(cap);
+    core::ManagerConfig cfg;
+    cfg.policy = policy;
+    core::ServerManager manager(server, cfg);
+    manager.seedCorpus(perf::workloadLibrary());
+    const perf::Mix &mx = perf::mix(mix_id);
+    manager.addApp(perf::workload(mx.app1));
+    manager.addApp(perf::workload(mx.app2));
+    manager.run(toTicks(45.0));
+    return manager.serverNormalizedThroughput();
+}
+
+TEST(PaperClaims, StringencyGrowsTheUtilityAwareGain)
+{
+    // Section I / IV-B: "the more stringent the cap, the more
+    // important it is to do co-location aware power management."
+    double uu100 = 0.0, ara100 = 0.0, uu80 = 0.0, ara80 = 0.0;
+    for (int mix : {1, 5, 9}) {
+        uu100 += mixThroughput(mix, core::PolicyKind::UtilUnaware,
+                               100.0, false);
+        ara100 += mixThroughput(mix, core::PolicyKind::AppResAware,
+                                100.0, false);
+        uu80 += mixThroughput(mix, core::PolicyKind::UtilUnaware,
+                              80.0, false);
+        ara80 += mixThroughput(mix, core::PolicyKind::AppResAware,
+                               80.0, false);
+    }
+    double gain100 = ara100 / uu100;
+    double gain80 = ara80 / uu80;
+    EXPECT_GT(gain80, gain100 + 0.10);
+    // At the stringent cap the utility-aware scheme wins clearly.
+    EXPECT_GT(gain80, 1.15);
+}
+
+TEST(PaperClaims, EsdRoughlyDoublesThroughputAtEightyWatts)
+{
+    // Abstract: "A space and time coordinated use of a Lead-Acid
+    // battery gives a throughput boost of nearly 2x."
+    double best_no_esd = 0.0, with_esd = 0.0;
+    for (int mix : {1, 3, 11}) {
+        best_no_esd += mixThroughput(
+            mix, core::PolicyKind::AppResAware, 80.0, false);
+        with_esd += mixThroughput(
+            mix, core::PolicyKind::AppResEsdAware, 80.0, true);
+    }
+    EXPECT_GT(with_esd / best_no_esd, 1.5);
+}
+
+TEST(PaperClaims, OnlyEsdRunsAtSeventyWatts)
+{
+    // Section IV-B: the 70 W budget "is insufficient to run even 1
+    // application at a time" without storage.
+    EXPECT_LT(mixThroughput(1, core::PolicyKind::AppResAware, 70.0,
+                            false),
+              0.05);
+    EXPECT_GT(mixThroughput(1, core::PolicyKind::AppResEsdAware,
+                            70.0, true),
+              0.15);
+}
+
+TEST(PaperClaims, ClusterOursBeatsRaplUnderPeakShaving)
+{
+    // Section IV-D: "improves cluster power efficiency ... 12%
+    // compared to RAPL"; aggregate performance always above RAPL.
+    cluster::TraceConfig tc;
+    tc.points = 12;
+    tc.interval = toTicks(15.0);
+    cluster::PowerTrace demand = cluster::generateDiurnalDemand(tc);
+
+    auto replay = [&](cluster::ClusterPolicy policy) {
+        cluster::ClusterConfig cfg;
+        cfg.policy = policy;
+        cfg.servers = 4;
+        cluster::ClusterManager cm(cfg);
+        cm.populateDefault();
+        cluster::PowerTrace caps = cluster::loadFollowingCaps(
+            demand, cm.uncappedDemandEstimate(), 0.30);
+        return cm.replay(caps);
+    };
+
+    cluster::ClusterResult rapl =
+        replay(cluster::ClusterPolicy::EqualRapl);
+    cluster::ClusterResult ours =
+        replay(cluster::ClusterPolicy::EqualOurs);
+    EXPECT_GT(ours.aggregatePerf, rapl.aggregatePerf * 1.05);
+    EXPECT_GT(ours.perfPerKw, rapl.perfPerKw * 1.05);
+}
+
+class RaplConvergence : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(RaplConvergence, PackageLimitIsHeldWithinAWatt)
+{
+    // The emulated RAPL integral enforcement must converge onto any
+    // feasible package limit.
+    Watts limit = GetParam();
+    sim::Server server;
+    int id = server.admit(perf::workload("kmeans"));
+    server.setPackageLimit(server.app(id).socket(), limit);
+    server.run(toTicks(5.0));
+    Watts pkg = server.observedAppPower(id) -
+                server.observedAppDramPower(id);
+    EXPECT_NEAR(pkg, limit, 1.0) << "limit " << limit;
+}
+
+INSTANTIATE_TEST_SUITE_P(Limits, RaplConvergence,
+                         ::testing::Values(4.0, 6.0, 9.0, 12.0,
+                                           15.0));
+
+TEST(PaperClaims, ReallocationCompletesWithinASecondOfArrival)
+{
+    // Section IV-C: "All of this is achieved within a span of
+    // 800 ms on our server."
+    sim::Server server;
+    server.setCap(100.0);
+    core::ManagerConfig cfg;
+    cfg.policy = core::PolicyKind::AppResAware;
+    core::ServerManager manager(server, cfg);
+    manager.seedCorpus(perf::workloadLibrary());
+    manager.addApp(perf::workload("sssp"));
+    manager.run(toTicks(10.0));
+    manager.addApp(perf::workload("x264"));
+    manager.run(toTicks(5.0));
+    EXPECT_LE(manager.lastReallocationLatency(), toTicks(1.2));
+}
+
+} // namespace
+} // namespace psm

@@ -1,0 +1,273 @@
+/**
+ * @file
+ * Tests for application profiles, the workload library (Table II) and
+ * the roofline performance model.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "perf/app_profile.hh"
+#include "perf/heartbeats.hh"
+#include "perf/perf_model.hh"
+#include "perf/workloads.hh"
+#include "power/platform.hh"
+
+namespace psm::perf
+{
+namespace
+{
+
+using power::defaultPlatform;
+using power::KnobSetting;
+
+// --- Profiles and the library ------------------------------------------
+
+TEST(AppProfile, TypeNames)
+{
+    EXPECT_EQ(appTypeName(AppType::Graph), "graph");
+    EXPECT_EQ(appTypeName(AppType::Memory), "memory");
+    EXPECT_EQ(appTypeName(AppType::Media), "media");
+}
+
+TEST(AppProfileDeath, ValidationCatchesBadParameters)
+{
+    AppProfile p = workload("kmeans");
+    p.parallelFraction = 1.5;
+    EXPECT_DEATH(p.validate(), "parallelFraction");
+
+    AppProfile q = workload("kmeans");
+    q.cpuSecPerHb = 0.0;
+    EXPECT_DEATH(q.validate(), "cpuSecPerHb");
+
+    AppProfile r = workload("kmeans");
+    r.overlap = -0.1;
+    EXPECT_DEATH(r.validate(), "overlap");
+}
+
+TEST(Workloads, LibraryHasTwelveApps)
+{
+    EXPECT_EQ(workloadLibrary().size(), 12u);
+    for (const auto &p : workloadLibrary())
+        EXPECT_NO_FATAL_FAILURE(p.validate());
+}
+
+TEST(Workloads, TableTwoHasFifteenMixesOfKnownApps)
+{
+    const auto &mixes = tableTwoMixes();
+    ASSERT_EQ(mixes.size(), 15u);
+    for (const auto &m : mixes) {
+        EXPECT_TRUE(hasWorkload(m.app1)) << m.app1;
+        EXPECT_TRUE(hasWorkload(m.app2)) << m.app2;
+        EXPECT_NE(m.app1, m.app2);
+    }
+    // Spot-check paper rows: mix 1 is STREAM+kmeans, mix 10 is
+    // PageRank+kmeans, mix 14 is X264+SSSP.
+    EXPECT_EQ(mix(1).app1, "stream");
+    EXPECT_EQ(mix(1).app2, "kmeans");
+    EXPECT_EQ(mix(10).app1, "pagerank");
+    EXPECT_EQ(mix(14).app2, "sssp");
+}
+
+TEST(WorkloadsDeath, UnknownNamesAreFatal)
+{
+    EXPECT_DEATH(workload("quake3"), "unknown workload");
+    EXPECT_DEATH(mix(0), "Table II");
+    EXPECT_DEATH(mix(16), "Table II");
+}
+
+TEST(Workloads, ClassesMatchThePaper)
+{
+    EXPECT_EQ(workload("stream").type, AppType::Memory);
+    EXPECT_EQ(workload("kmeans").type, AppType::Analytics);
+    EXPECT_EQ(workload("bfs").type, AppType::Graph);
+    EXPECT_EQ(workload("pagerank").type, AppType::Search);
+    EXPECT_EQ(workload("x264").type, AppType::Media);
+}
+
+// --- Calibration against the paper's constants --------------------------
+
+TEST(Calibration, IsolatedAppPowerIsAboutTwentyWatts)
+{
+    // Section II-A: one application adds ~20 W of dynamic power.
+    for (const auto &p : workloadLibrary()) {
+        PerfModel m(defaultPlatform(), p);
+        EXPECT_GT(m.maxPower(), 14.0) << p.name;
+        EXPECT_LT(m.maxPower(), 25.0) << p.name;
+    }
+}
+
+TEST(Calibration, ColocatedUncappedDrawIsAbout110Watts)
+{
+    // Section II-A: P_idle + P_cm + 20 + 20 = 110 W.
+    const auto &plat = defaultPlatform();
+    PerfModel a(plat, workload("stream"));
+    PerfModel b(plat, workload("kmeans"));
+    double wall = plat.idlePower + plat.cmPower + a.maxPower() +
+                  b.maxPower();
+    EXPECT_NEAR(wall, 110.0, 6.0);
+}
+
+TEST(Calibration, TwoAppMinimaExceedTheEightyWattBudget)
+{
+    // Section IV-B: at P_cap = 80 W the 10 W dynamic budget cannot
+    // host both applications at once.
+    const auto &plat = defaultPlatform();
+    for (const auto &mx : tableTwoMixes()) {
+        PerfModel a(plat, workload(mx.app1));
+        PerfModel b(plat, workload(mx.app2));
+        EXPECT_GT(a.minPower() + b.minPower(), 10.0) << "mix "
+                                                     << mx.id;
+    }
+}
+
+// --- PerfModel properties ----------------------------------------------
+
+class PerfModelPerApp : public ::testing::TestWithParam<std::string>
+{
+  protected:
+    const power::PlatformConfig &plat = defaultPlatform();
+    PerfModel model{plat, workload(GetParam())};
+};
+
+TEST_P(PerfModelPerApp, PerfNormIsOneAtMaxSetting)
+{
+    OperatingPoint op = model.evaluate(plat.maxSetting());
+    EXPECT_NEAR(op.perfNorm, 1.0, 1e-9);
+    EXPECT_NEAR(op.hbRate, model.maxHbRate(), 1e-9);
+}
+
+TEST_P(PerfModelPerApp, MonotoneInEachKnob)
+{
+    // More frequency never hurts.
+    double prev = 0.0;
+    for (GHz f : plat.freqLevels()) {
+        double hb = model.evaluate({f, 6, 10.0}).hbRate;
+        EXPECT_GE(hb, prev - 1e-9) << "f=" << f;
+        prev = hb;
+    }
+    // More cores never hurt.
+    prev = 0.0;
+    for (int n : plat.coreLevels()) {
+        double hb = model.evaluate({2.0, n, 10.0}).hbRate;
+        EXPECT_GE(hb, prev - 1e-9) << "n=" << n;
+        prev = hb;
+    }
+    // More DRAM budget never hurts.
+    prev = 0.0;
+    for (Watts m : plat.dramLevels()) {
+        double hb = model.evaluate({2.0, 6, m}).hbRate;
+        EXPECT_GE(hb, prev - 1e-9) << "m=" << m;
+        prev = hb;
+    }
+}
+
+TEST_P(PerfModelPerApp, PowerComponentsArePositiveAndBounded)
+{
+    for (const auto &s : plat.knobSpace()) {
+        OperatingPoint op = model.evaluate(s);
+        EXPECT_GT(op.hbRate, 0.0);
+        EXPECT_GE(op.corePower, 0.0);
+        EXPECT_GE(op.dramPower, plat.dramPowerMin - 1e-9);
+        EXPECT_LE(op.dramPower,
+                  std::max(s.dramPower, plat.dramPowerMin + 0.2));
+        EXPECT_GT(op.totalPower(), 0.0);
+        EXPECT_LE(op.coreUtilization, 1.0);
+    }
+}
+
+TEST_P(PerfModelPerApp, ThrottlesReducePowerAndPerformance)
+{
+    KnobSetting max = plat.maxSetting();
+    OperatingPoint base = model.evaluate(max);
+    OperatingPoint throttled = model.evaluate(max, 0.5, 1.0);
+    EXPECT_LT(throttled.hbRate, base.hbRate);
+    EXPECT_LT(throttled.corePower, base.corePower);
+
+    OperatingPoint bw_throttled = model.evaluate(max, 1.0, 0.3);
+    EXPECT_LE(bw_throttled.hbRate, base.hbRate + 1e-9);
+}
+
+TEST_P(PerfModelPerApp, PhaseScalingShiftsTheBottleneck)
+{
+    KnobSetting max = plat.maxSetting();
+    OperatingPoint base = model.evaluate(max);
+    // Quadrupling memory traffic cannot speed the app up.
+    OperatingPoint memory_heavy =
+        model.evaluate(max, 1.0, 1.0, 1.0, 4.0);
+    EXPECT_LT(memory_heavy.hbRate, base.hbRate + 1e-9);
+    EXPECT_GE(memory_heavy.memBandwidth, 0.0);
+    // Halving compute work cannot slow it down.
+    OperatingPoint light = model.evaluate(max, 1.0, 1.0, 0.5, 1.0);
+    EXPECT_GE(light.hbRate, base.hbRate - 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllApps, PerfModelPerApp,
+    ::testing::Values("stream", "kmeans", "apr", "bfs", "connected",
+                      "betweenness", "sssp", "triangle", "pagerank",
+                      "x264", "facesim", "ferret"));
+
+TEST(PerfModel, MemoryAppIsMoreDramSensitiveThanComputeApp)
+{
+    // The Fig. 3 premise: STREAM gains far more from DRAM watts than
+    // kmeans does.
+    const auto &plat = defaultPlatform();
+    PerfModel stream(plat, workload("stream"));
+    PerfModel kmeans(plat, workload("kmeans"));
+
+    auto dram_gain = [&](const PerfModel &m) {
+        double lo = m.evaluate({2.0, 6, 4.0}).perfNorm;
+        double hi = m.evaluate({2.0, 6, 10.0}).perfNorm;
+        return hi - lo;
+    };
+    EXPECT_GT(dram_gain(stream), 4.0 * dram_gain(kmeans));
+}
+
+TEST(PerfModel, ComputeAppIsMoreFrequencySensitive)
+{
+    const auto &plat = defaultPlatform();
+    PerfModel stream(plat, workload("stream"));
+    PerfModel kmeans(plat, workload("kmeans"));
+
+    auto freq_gain = [&](const PerfModel &m) {
+        double lo = m.evaluate({1.2, 6, 10.0}).perfNorm;
+        double hi = m.evaluate({2.0, 6, 10.0}).perfNorm;
+        return hi - lo;
+    };
+    EXPECT_GT(freq_gain(kmeans), 2.0 * freq_gain(stream));
+}
+
+// --- Heartbeats ----------------------------------------------------------
+
+TEST(Heartbeats, TotalsAndRates)
+{
+    Heartbeats hb(toTicks(1.0));
+    hb.emit(toTicks(0.5), toTicks(0.5), 50.0);
+    hb.emit(toTicks(1.0), toTicks(0.5), 50.0);
+    EXPECT_DOUBLE_EQ(hb.total(), 100.0);
+    EXPECT_NEAR(hb.windowRate(), 100.0, 1e-9);
+    EXPECT_NEAR(hb.lifetimeRate(), 100.0, 1e-9);
+}
+
+TEST(Heartbeats, WindowForgetsOldSamples)
+{
+    Heartbeats hb(toTicks(1.0));
+    hb.emit(toTicks(1.0), toTicks(1.0), 100.0); // 100/s burst
+    hb.emit(toTicks(3.0), toTicks(2.0), 0.0);   // then silence
+    EXPECT_NEAR(hb.windowRate(), 0.0, 1e-6);
+    EXPECT_NEAR(hb.lifetimeRate(), 100.0 / 3.0, 1e-6);
+}
+
+TEST(Heartbeats, ResetClears)
+{
+    Heartbeats hb;
+    hb.emit(ticksPerSecond, ticksPerSecond, 10.0);
+    hb.reset();
+    EXPECT_DOUBLE_EQ(hb.total(), 0.0);
+    EXPECT_DOUBLE_EQ(hb.windowRate(), 0.0);
+}
+
+} // namespace
+} // namespace psm::perf

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Tests that the platform description reproduces the paper's Table I
+ * and that the knob space enumeration behaves.
+ */
+
+#include <gtest/gtest.h>
+
+#include "power/platform.hh"
+
+namespace psm::power
+{
+namespace
+{
+
+TEST(Platform, TableOneConstants)
+{
+    const PlatformConfig &p = defaultPlatform();
+    EXPECT_EQ(p.totalCores(), 12);          // 12 cores
+    EXPECT_EQ(p.sockets, 2);                // 2 NUMA nodes
+    EXPECT_DOUBLE_EQ(p.freqMin, 1.2);       // 1.2-2 GHz
+    EXPECT_DOUBLE_EQ(p.freqMax, 2.0);
+    EXPECT_EQ(p.freqSteps(), 9);            // 9 frequency steps
+    EXPECT_DOUBLE_EQ(p.llcMb, 15.0);        // 15 MB LLC
+    EXPECT_DOUBLE_EQ(p.memoryGb, 8.0);      // 8 GB DDR3
+    EXPECT_DOUBLE_EQ(p.idlePower, 50.0);    // P_idle
+    EXPECT_DOUBLE_EQ(p.cmPower, 20.0);      // P_cm
+    EXPECT_DOUBLE_EQ(p.dynamicPowerMax, 60.0);
+}
+
+TEST(Platform, KnobRangesMatchSectionIIB)
+{
+    const PlatformConfig &p = defaultPlatform();
+    EXPECT_EQ(p.coresMinPerApp, 1);
+    EXPECT_EQ(p.coresMaxPerApp, 6);
+    EXPECT_DOUBLE_EQ(p.dramPowerMin, 3.0);
+    EXPECT_DOUBLE_EQ(p.dramPowerMax, 10.0);
+    EXPECT_DOUBLE_EQ(p.dramPowerStep, 1.0);
+}
+
+TEST(Platform, FreqLevelsAreNineEvenSteps)
+{
+    auto levels = defaultPlatform().freqLevels();
+    ASSERT_EQ(levels.size(), 9u);
+    EXPECT_DOUBLE_EQ(levels.front(), 1.2);
+    EXPECT_DOUBLE_EQ(levels.back(), 2.0);
+    for (std::size_t i = 1; i < levels.size(); ++i)
+        EXPECT_NEAR(levels[i] - levels[i - 1], 0.1, 1e-9);
+}
+
+TEST(Platform, KnobSpaceIs432Settings)
+{
+    // 9 frequencies x 6 core counts x 8 DRAM budgets.
+    auto space = defaultPlatform().knobSpace();
+    EXPECT_EQ(space.size(), 9u * 6u * 8u);
+}
+
+TEST(Platform, KnobSpaceHasNoDuplicates)
+{
+    auto space = defaultPlatform().knobSpace();
+    for (std::size_t i = 0; i < space.size(); ++i)
+        for (std::size_t j = i + 1; j < space.size(); ++j)
+            EXPECT_FALSE(space[i] == space[j])
+                << "duplicate at " << i << "," << j;
+}
+
+TEST(Platform, MinMaxSettings)
+{
+    const PlatformConfig &p = defaultPlatform();
+    KnobSetting max = p.maxSetting();
+    EXPECT_DOUBLE_EQ(max.freq, 2.0);
+    EXPECT_EQ(max.cores, 6);
+    EXPECT_DOUBLE_EQ(max.dramPower, 10.0);
+    KnobSetting min = p.minSetting();
+    EXPECT_DOUBLE_EQ(min.freq, 1.2);
+    EXPECT_EQ(min.cores, 1);
+    EXPECT_DOUBLE_EQ(min.dramPower, 3.0);
+}
+
+TEST(Platform, ClampSettingQuantizesAndBounds)
+{
+    const PlatformConfig &p = defaultPlatform();
+    KnobSetting wild{3.7, 99, 50.0};
+    KnobSetting c = p.clampSetting(wild);
+    EXPECT_DOUBLE_EQ(c.freq, 2.0);
+    EXPECT_EQ(c.cores, 6);
+    EXPECT_DOUBLE_EQ(c.dramPower, 10.0);
+
+    KnobSetting low{0.1, 0, -3.0};
+    c = p.clampSetting(low);
+    EXPECT_DOUBLE_EQ(c.freq, 1.2);
+    EXPECT_EQ(c.cores, 1);
+    EXPECT_DOUBLE_EQ(c.dramPower, 3.0);
+
+    // Quantization to the 0.1 GHz / 1 W grids.
+    KnobSetting off{1.44, 3, 5.4};
+    c = p.clampSetting(off);
+    EXPECT_NEAR(c.freq, 1.4, 1e-9);
+    EXPECT_NEAR(c.dramPower, 5.0, 1e-9);
+}
+
+TEST(PlatformDeath, ValidateRejectsNonsense)
+{
+    PlatformConfig p = defaultPlatform();
+    p.freqMin = -1.0;
+    EXPECT_DEATH(p.validate(), "invalid DVFS range");
+
+    PlatformConfig q = defaultPlatform();
+    q.coresMaxPerApp = 0;
+    EXPECT_DEATH(q.validate(), "core range");
+
+    PlatformConfig r = defaultPlatform();
+    r.dramPowerMax = 1.0;
+    EXPECT_DEATH(r.validate(), "DRAM power range");
+}
+
+} // namespace
+} // namespace psm::power

@@ -1,0 +1,211 @@
+/**
+ * @file
+ * Tests for the core, uncore and DRAM power models.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "power/core_power.hh"
+#include "power/dram_power.hh"
+#include "power/platform.hh"
+#include "power/server_power.hh"
+#include "power/uncore_power.hh"
+
+namespace psm::power
+{
+namespace
+{
+
+class CorePowerTest : public ::testing::Test
+{
+  protected:
+    const PlatformConfig &plat = defaultPlatform();
+    CorePowerModel model{plat};
+};
+
+TEST_F(CorePowerTest, ZeroActivityDrawsNothing)
+{
+    EXPECT_DOUBLE_EQ(model.corePower(2.0, 0.0), 0.0);
+}
+
+TEST_F(CorePowerTest, PeakAtMaxFrequencyFullActivity)
+{
+    EXPECT_DOUBLE_EQ(model.corePower(plat.freqMax, 1.0),
+                     plat.corePeakPower);
+    EXPECT_DOUBLE_EQ(model.peakCorePower(), plat.corePeakPower);
+}
+
+TEST_F(CorePowerTest, MonotoneInFrequency)
+{
+    double prev = 0.0;
+    for (GHz f : plat.freqLevels()) {
+        double p = model.corePower(f, 1.0);
+        EXPECT_GT(p, prev);
+        prev = p;
+    }
+}
+
+TEST_F(CorePowerTest, LinearInCount)
+{
+    EXPECT_DOUBLE_EQ(model.corePower(1.6, 0.8, 4),
+                     4.0 * model.corePower(1.6, 0.8));
+    EXPECT_DOUBLE_EQ(model.corePower(1.6, 0.8, 0), 0.0);
+}
+
+TEST_F(CorePowerTest, FreqFactorBounds)
+{
+    EXPECT_DOUBLE_EQ(model.freqFactor(plat.freqMax), 1.0);
+    EXPECT_GT(model.freqFactor(plat.freqMin), 0.0);
+    EXPECT_LT(model.freqFactor(plat.freqMin), 1.0);
+    // Above f_max clamps.
+    EXPECT_DOUBLE_EQ(model.freqFactor(10.0), 1.0);
+}
+
+TEST_F(CorePowerTest, MaxFreqWithinBudgetIsTight)
+{
+    // Budget exactly at the power of 1.6 GHz should return 1.6.
+    double p16 = model.corePower(1.6, 1.0, 4);
+    GHz f = model.maxFreqWithinBudget(p16 + 1e-6, 1.0, 4);
+    EXPECT_NEAR(f, 1.6, 1e-9);
+    // One microwatt less should drop a step.
+    f = model.maxFreqWithinBudget(p16 - 1e-3, 1.0, 4);
+    EXPECT_NEAR(f, 1.5, 1e-9);
+    // Hopeless budget returns f_min.
+    EXPECT_NEAR(model.maxFreqWithinBudget(0.0, 1.0, 6), plat.freqMin,
+                1e-9);
+}
+
+class InverseFreqFactor : public ::testing::TestWithParam<double>
+{
+  protected:
+    CorePowerModel model{defaultPlatform()};
+};
+
+TEST_P(InverseFreqFactor, RoundTripsThroughFreqFactor)
+{
+    double target = GetParam();
+    double r = model.inverseFreqFactor(target);
+    EXPECT_GE(r, 0.05);
+    EXPECT_LE(r, 1.0);
+    if (target >= model.freqFactor(0.05 * defaultPlatform().freqMax) &&
+        target <= 1.0) {
+        EXPECT_NEAR(model.freqFactor(r * defaultPlatform().freqMax),
+                    target, 1e-6);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, InverseFreqFactor,
+                         ::testing::Values(0.05, 0.1, 0.25, 0.5, 0.75,
+                                           0.9, 1.0, 1.5));
+
+TEST(UncorePower, StepFunctionOfActivity)
+{
+    const PlatformConfig &plat = defaultPlatform();
+    UncorePowerModel model(plat);
+    EXPECT_DOUBLE_EQ(model.uncorePower(true), plat.cmPower);
+    EXPECT_DOUBLE_EQ(model.uncorePower(false), 0.0);
+}
+
+TEST(UncorePower, WakeEnergyMatchesLatencyWindow)
+{
+    const PlatformConfig &plat = defaultPlatform();
+    UncorePowerModel model(plat);
+    EXPECT_NEAR(model.wakeEnergy(),
+                plat.cmPower * toSeconds(plat.socketWakeLatency),
+                1e-9);
+    EXPECT_EQ(model.wakeLatency(), plat.socketWakeLatency);
+}
+
+class DramPowerTest : public ::testing::Test
+{
+  protected:
+    const PlatformConfig &plat = defaultPlatform();
+    DramPowerModel model{plat};
+};
+
+TEST_F(DramPowerTest, BackgroundEqualsMinBudget)
+{
+    EXPECT_DOUBLE_EQ(model.backgroundPower(), plat.dramPowerMin);
+    EXPECT_DOUBLE_EQ(model.channelPower(0.0), plat.dramPowerMin);
+}
+
+TEST_F(DramPowerTest, PowerGrowsLinearlyWithTraffic)
+{
+    double p1 = model.channelPower(1.0);
+    double p2 = model.channelPower(2.0);
+    EXPECT_NEAR(p2 - p1, plat.dramEnergyPerGBps, 1e-9);
+}
+
+TEST_F(DramPowerTest, CeilingMonotoneInBudget)
+{
+    double prev = 0.0;
+    for (Watts m : plat.dramLevels()) {
+        double bw = model.bandwidthCeiling(m);
+        EXPECT_GE(bw, prev);
+        EXPECT_LE(bw, plat.channelBandwidth + 1e-9);
+        prev = bw;
+    }
+}
+
+TEST_F(DramPowerTest, NoHeadroomStillTrickles)
+{
+    // Budget at/below background keeps a trickle of bandwidth.
+    EXPECT_GT(model.bandwidthCeiling(plat.dramPowerMin), 0.0);
+    EXPECT_GT(model.bandwidthCeiling(0.0), 0.0);
+}
+
+TEST_F(DramPowerTest, ThrottledPowerRespectsBudget)
+{
+    for (Watts m : plat.dramLevels()) {
+        // Offered traffic far above what the budget can serve.  At
+        // the floor budget the refresh trickle keeps the channel a
+        // hair above it; anywhere else the budget binds exactly.
+        Watts p = model.throttledPower(100.0, m);
+        EXPECT_LE(p, std::max(m, model.backgroundPower() + 0.2));
+        EXPECT_GE(p, model.backgroundPower() - 1e-9);
+    }
+}
+
+TEST_F(DramPowerTest, ServedBandwidthNeverExceedsOffered)
+{
+    for (double offered : {0.0, 0.5, 3.0, 9.0, 50.0}) {
+        double served = model.servedBandwidth(offered, 7.0);
+        EXPECT_LE(served, offered + 1e-9);
+        EXPECT_LE(served, plat.channelBandwidth + 1e-9);
+    }
+}
+
+TEST(ServerPower, BreakdownArithmeticMatchesEqTwo)
+{
+    PowerBreakdown b;
+    b.idle = 50.0;
+    b.uncore = 20.0;
+    b.apps.push_back({"a", 10.0, 5.0, 2.0});
+    b.apps.push_back({"b", 8.0, 4.0, 2.0});
+    b.esdCharge = 6.0;
+    b.esdDischarge = 1.0;
+
+    EXPECT_DOUBLE_EQ(b.appTotal(), 31.0);
+    EXPECT_DOUBLE_EQ(b.serverPower(), 101.0);
+    // Eq. 2: wall = server + charge - discharge.
+    EXPECT_DOUBLE_EQ(b.wallPower(), 106.0);
+}
+
+TEST(ServerPower, BeginBreakdownFillsConstants)
+{
+    const PlatformConfig &plat = defaultPlatform();
+    ServerPowerModel model(plat);
+    PowerBreakdown b = model.beginBreakdown(true, 0);
+    EXPECT_DOUBLE_EQ(b.idle, plat.idlePower);
+    EXPECT_DOUBLE_EQ(b.uncore, plat.cmPower);
+    EXPECT_TRUE(b.apps.empty());
+
+    PowerBreakdown idle = model.beginBreakdown(false, 0);
+    EXPECT_DOUBLE_EQ(idle.uncore, 0.0);
+    EXPECT_DOUBLE_EQ(idle.serverPower(), plat.idlePower);
+}
+
+} // namespace
+} // namespace psm::power

@@ -1,0 +1,290 @@
+/**
+ * @file
+ * Tests for the simulation substrate: event queue, application
+ * runtime and the server.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "perf/workloads.hh"
+#include "sim/application.hh"
+#include "sim/event_queue.hh"
+#include "sim/server.hh"
+
+namespace psm::sim
+{
+namespace
+{
+
+using perf::workload;
+using power::defaultPlatform;
+
+// --- EventQueue -----------------------------------------------------------
+
+TEST(EventQueue, FiresInTimeOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(toTicks(2.0), [&](Tick) { order.push_back(2); });
+    q.schedule(toTicks(1.0), [&](Tick) { order.push_back(1); });
+    q.schedule(toTicks(3.0), [&](Tick) { order.push_back(3); });
+    EXPECT_EQ(q.runUntil(toTicks(2.5)), 2u);
+    EXPECT_EQ(order, (std::vector<int>{1, 2}));
+    EXPECT_EQ(q.pending(), 1u);
+    EXPECT_EQ(q.nextEventTime(), toTicks(3.0));
+}
+
+TEST(EventQueue, SameTickFifo)
+{
+    EventQueue q;
+    std::vector<int> order;
+    for (int i = 0; i < 5; ++i)
+        q.schedule(100, [&, i](Tick) { order.push_back(i); });
+    q.runUntil(100);
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, CallbackMayScheduleMoreEvents)
+{
+    EventQueue q;
+    int fired = 0;
+    q.schedule(10, [&](Tick when) {
+        ++fired;
+        q.schedule(when + 5, [&](Tick) { ++fired; });
+    });
+    EXPECT_EQ(q.runUntil(20), 2u);
+    EXPECT_EQ(fired, 2);
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, EmptyQueueReportsMaxTick)
+{
+    EventQueue q;
+    EXPECT_EQ(q.nextEventTime(), maxTick);
+    EXPECT_EQ(q.runUntil(1000), 0u);
+}
+
+// --- Application ------------------------------------------------------------
+
+class ApplicationTest : public ::testing::Test
+{
+  protected:
+    const power::PlatformConfig &plat = defaultPlatform();
+};
+
+TEST_F(ApplicationTest, MakesProgressWhileRunning)
+{
+    Application app(1, 0, plat, workload("kmeans"));
+    EXPECT_TRUE(app.running());
+    AppStepResult res = app.step(0, ticksPerSecond);
+    EXPECT_GT(res.beats, 0.0);
+    EXPECT_GT(app.progress(), 0.0);
+    EXPECT_GT(app.heartbeats().total(), 0.0);
+}
+
+TEST_F(ApplicationTest, SuspendedAppMakesNoProgress)
+{
+    Application app(1, 0, plat, workload("kmeans"));
+    app.suspend(0);
+    EXPECT_EQ(app.state(), AppState::Suspended);
+    AppStepResult res = app.step(0, ticksPerSecond);
+    EXPECT_DOUBLE_EQ(res.beats, 0.0);
+    EXPECT_DOUBLE_EQ(res.op.totalPower(), 0.0);
+}
+
+TEST_F(ApplicationTest, ResumePaysWarmupPenalty)
+{
+    Application app(1, 0, plat, workload("bfs"));
+    // Burn through the initial cold-start warm-up first.
+    while (app.warmupRemaining() > 0)
+        app.step(0, ticksPerMs * 10);
+    AppStepResult warm = app.step(0, ticksPerMs * 10);
+
+    app.suspend(toTicks(10.0));
+    app.resume(toTicks(12.0));
+    EXPECT_GT(app.warmupRemaining(), 0u);
+    EXPECT_EQ(app.suspendedTime(), toTicks(2.0));
+    AppStepResult cold = app.step(toTicks(12.0), ticksPerMs * 10);
+    EXPECT_LT(cold.beats, warm.beats);
+}
+
+TEST_F(ApplicationTest, KnobsAreClamped)
+{
+    Application app(1, 0, plat, workload("x264"));
+    app.setKnobs({9.9, 99, 99.0});
+    EXPECT_DOUBLE_EQ(app.knobs().freq, plat.freqMax);
+    EXPECT_EQ(app.knobs().cores, plat.coresMaxPerApp);
+    EXPECT_DOUBLE_EQ(app.knobs().dramPower, plat.dramPowerMax);
+}
+
+TEST_F(ApplicationTest, FinishesAfterAllHeartbeats)
+{
+    perf::AppProfile small = workload("kmeans");
+    small.totalHeartbeats = 50.0;
+    Application app(1, 0, plat, small);
+    Tick t = 0;
+    while (!app.finished() && t < toTicks(60.0)) {
+        app.step(t, ticksPerMs * 100);
+        t += ticksPerMs * 100;
+    }
+    EXPECT_TRUE(app.finished());
+    EXPECT_NEAR(app.progress(), 1.0, 1e-9);
+    EXPECT_NEAR(app.heartbeats().total(), 50.0, 1e-6);
+    // A finished app makes no further progress.
+    AppStepResult res = app.step(t, ticksPerSecond);
+    EXPECT_DOUBLE_EQ(res.beats, 0.0);
+}
+
+TEST_F(ApplicationTest, PhasesChangeTheOperatingPoint)
+{
+    perf::AppProfile p = workload("kmeans");
+    p.totalHeartbeats = 1000.0;
+    Application app(1, 0, plat, p);
+    app.setPhases({{0.5, 1.0, 1.0}, {1.0, 1.0, 30.0}});
+
+    // First phase: compute bound.
+    EXPECT_DOUBLE_EQ(app.currentPhase().memScale, 1.0);
+    while (app.progress() < 0.55 && !app.finished())
+        app.step(0, ticksPerMs * 100);
+    // Second phase: memory traffic exploded.
+    EXPECT_DOUBLE_EQ(app.currentPhase().memScale, 30.0);
+    AppStepResult res = app.step(0, ticksPerMs * 100);
+    EXPECT_GT(res.op.memBandwidth, 1.0);
+}
+
+TEST_F(ApplicationTest, StateNames)
+{
+    EXPECT_EQ(appStateName(AppState::Running), "running");
+    EXPECT_EQ(appStateName(AppState::Suspended), "suspended");
+    EXPECT_EQ(appStateName(AppState::Finished), "finished");
+}
+
+// --- Server ------------------------------------------------------------------
+
+TEST(Server, AdmitAssignsDistinctSockets)
+{
+    Server server;
+    int a = server.admit(workload("stream"));
+    int b = server.admit(workload("kmeans"));
+    EXPECT_NE(server.app(a).socket(), server.app(b).socket());
+    EXPECT_EQ(server.freeSockets(), 0);
+    EXPECT_TRUE(server.hasApp(a));
+    server.remove(a);
+    EXPECT_FALSE(server.hasApp(a));
+    EXPECT_EQ(server.freeSockets(), 1);
+}
+
+TEST(ServerDeath, OverAdmissionIsFatal)
+{
+    Server server;
+    server.admit(workload("stream"));
+    server.admit(workload("kmeans"));
+    EXPECT_DEATH(server.admit(workload("bfs")), "no free socket");
+}
+
+TEST(Server, IdleServerDrawsIdlePower)
+{
+    Server server;
+    server.setCap(100.0);
+    server.run(toTicks(1.0));
+    EXPECT_NEAR(server.meter().averagePower(),
+                defaultPlatform().idlePower, 1e-6);
+}
+
+TEST(Server, UncappedPairDrawsAboutPaperNumbers)
+{
+    Server server;
+    server.admit(workload("stream"));
+    server.admit(workload("kmeans"));
+    server.run(toTicks(5.0));
+    // Section II-A's worked example: ~110 W.
+    EXPECT_NEAR(server.meter().averagePower(), 110.0, 8.0);
+}
+
+TEST(Server, SuspendingAllAppsDropsUncore)
+{
+    Server server;
+    int a = server.admit(workload("kmeans"));
+    server.app(a).suspend(0);
+    server.run(toTicks(1.0));
+    // Only P_idle: packages are in PC6.
+    EXPECT_NEAR(server.meter().averagePower(),
+                defaultPlatform().idlePower, 1e-6);
+}
+
+TEST(Server, PackageLimitThrottlesAppPower)
+{
+    Server free_server;
+    int a0 = free_server.admit(workload("kmeans"));
+    free_server.run(toTicks(3.0));
+    Watts unthrottled = free_server.observedAppPower(a0);
+
+    Server server;
+    int a = server.admit(workload("kmeans"));
+    server.setPackageLimit(server.app(a).socket(), 6.0);
+    server.run(toTicks(3.0));
+    Watts throttled = server.observedAppPower(a);
+    EXPECT_LT(throttled, unthrottled - 3.0);
+    // The RAPL loop should converge near the limit + DRAM share.
+    Watts pkg = throttled - server.observedAppDramPower(a);
+    EXPECT_NEAR(pkg, 6.0, 1.0);
+}
+
+TEST(Server, StepReportsFinishedApps)
+{
+    perf::AppProfile tiny = workload("kmeans");
+    tiny.totalHeartbeats = 10.0;
+    Server server;
+    int id = server.admit(tiny);
+    std::vector<int> finished = server.run(toTicks(10.0));
+    ASSERT_EQ(finished.size(), 1u);
+    EXPECT_EQ(finished[0], id);
+}
+
+TEST(Server, EsdBridgesOverCapDraw)
+{
+    Server server;
+    esd::BatteryConfig esd = esd::leadAcidUps();
+    esd.initialSoc = 1.0;
+    server.attachEsd(esd);
+    ASSERT_TRUE(server.hasEsd());
+    server.setCap(90.0); // pair draws ~110 W -> ~20 W deficit
+    server.admit(workload("stream"));
+    server.admit(workload("kmeans"));
+    server.run(toTicks(5.0));
+    // The battery covered the deficit: wall power stays near the cap
+    // and stored energy went down.
+    EXPECT_NEAR(server.meter().averagePower(), 90.0, 3.0);
+    EXPECT_LT(server.battery()->soc(), 1.0);
+}
+
+TEST(Server, EsdChargesOnlyWhenEnabled)
+{
+    Server server;
+    server.attachEsd(esd::leadAcidUps());
+    server.setCap(80.0);
+    server.setEsdChargeEnabled(false);
+    server.run(toTicks(2.0));
+    EXPECT_NEAR(server.battery()->soc(), 0.0, 1e-9);
+
+    server.setEsdChargeEnabled(true);
+    server.run(toTicks(2.0));
+    // Idle draw 50 W under an 80 W cap leaves 30 W of headroom.
+    EXPECT_GT(server.battery()->stored(), 30.0);
+    // And the wall shows the charging draw.
+    EXPECT_GT(server.meter().averagePower(), 55.0);
+}
+
+TEST(Server, ObservedServerPowerTracksMeter)
+{
+    Server server;
+    server.admit(workload("x264"));
+    server.run(toTicks(3.0));
+    EXPECT_NEAR(server.observedServerPower(),
+                server.meter().averagePower(), 5.0);
+}
+
+} // namespace
+} // namespace psm::sim

@@ -1,0 +1,194 @@
+/**
+ * @file
+ * Unit and property tests for the statistics accumulators.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/random.hh"
+#include "util/stats.hh"
+
+namespace psm
+{
+namespace
+{
+
+TEST(RunningStats, EmptyIsZero)
+{
+    RunningStats s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, MatchesNaiveComputation)
+{
+    std::vector<double> xs = {3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0};
+    RunningStats s;
+    for (double x : xs)
+        s.push(x);
+
+    double mean = 0.0;
+    for (double x : xs)
+        mean += x;
+    mean /= static_cast<double>(xs.size());
+    double var = 0.0;
+    for (double x : xs)
+        var += (x - mean) * (x - mean);
+    var /= static_cast<double>(xs.size());
+
+    EXPECT_EQ(s.count(), xs.size());
+    EXPECT_NEAR(s.mean(), mean, 1e-12);
+    EXPECT_NEAR(s.variance(), var, 1e-12);
+    EXPECT_DOUBLE_EQ(s.min(), 1.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+    EXPECT_NEAR(s.sum(), mean * static_cast<double>(xs.size()), 1e-12);
+}
+
+TEST(RunningStats, MergeEqualsCombinedStream)
+{
+    Rng rng(7);
+    RunningStats a, b, all;
+    for (int i = 0; i < 500; ++i) {
+        double x = rng.gaussian(5.0, 2.0);
+        if (i % 3 == 0)
+            a.push(x);
+        else
+            b.push(x);
+        all.push(x);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), all.count());
+    EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+    EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+    EXPECT_DOUBLE_EQ(a.min(), all.min());
+    EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmptyIsIdentity)
+{
+    RunningStats a;
+    a.push(2.0);
+    a.push(4.0);
+    RunningStats empty;
+    a.merge(empty);
+    EXPECT_EQ(a.count(), 2u);
+    EXPECT_DOUBLE_EQ(a.mean(), 3.0);
+
+    RunningStats c;
+    c.merge(a);
+    EXPECT_EQ(c.count(), 2u);
+    EXPECT_DOUBLE_EQ(c.mean(), 3.0);
+}
+
+TEST(TimeWeightedStats, WeightsByDuration)
+{
+    TimeWeightedStats s;
+    s.push(100.0, ticksPerSecond);     // 100 W for 1 s
+    s.push(50.0, 3 * ticksPerSecond);  // 50 W for 3 s
+    EXPECT_NEAR(s.mean(), (100.0 + 150.0) / 4.0, 1e-9);
+    EXPECT_DOUBLE_EQ(s.integral(), 250.0);
+    EXPECT_EQ(s.duration(), 4 * ticksPerSecond);
+    EXPECT_DOUBLE_EQ(s.min(), 50.0);
+    EXPECT_DOUBLE_EQ(s.max(), 100.0);
+}
+
+TEST(TimeWeightedStats, ZeroDurationIgnored)
+{
+    TimeWeightedStats s;
+    s.push(1000.0, 0);
+    EXPECT_EQ(s.duration(), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+}
+
+TEST(Ewma, FirstSampleSeeds)
+{
+    Ewma e(0.5);
+    EXPECT_FALSE(e.primed());
+    EXPECT_DOUBLE_EQ(e.push(10.0), 10.0);
+    EXPECT_TRUE(e.primed());
+    EXPECT_DOUBLE_EQ(e.push(20.0), 15.0);
+}
+
+TEST(Ewma, ConvergesToConstantInput)
+{
+    Ewma e(0.3);
+    for (int i = 0; i < 100; ++i)
+        e.push(42.0);
+    EXPECT_NEAR(e.value(), 42.0, 1e-9);
+}
+
+TEST(Histogram, CountsAndPercentiles)
+{
+    Histogram h(0.0, 100.0, 10);
+    for (int i = 0; i < 100; ++i)
+        h.push(static_cast<double>(i));
+    EXPECT_EQ(h.totalSamples(), 100u);
+    for (std::size_t b = 0; b < h.binCount(); ++b)
+        EXPECT_EQ(h.binSamples(b), 10u);
+    EXPECT_NEAR(h.percentile(50.0), 50.0, 10.0);
+    EXPECT_NEAR(h.percentile(95.0), 95.0, 10.0);
+}
+
+TEST(Histogram, OutOfRangeClampsToEdgeBins)
+{
+    Histogram h(0.0, 10.0, 5);
+    h.push(-100.0);
+    h.push(100.0);
+    EXPECT_EQ(h.binSamples(0), 1u);
+    EXPECT_EQ(h.binSamples(4), 1u);
+}
+
+TEST(Percentile, ExactValues)
+{
+    std::vector<double> xs = {1, 2, 3, 4, 5};
+    EXPECT_DOUBLE_EQ(percentileOf(xs, 0.0), 1.0);
+    EXPECT_DOUBLE_EQ(percentileOf(xs, 50.0), 3.0);
+    EXPECT_DOUBLE_EQ(percentileOf(xs, 100.0), 5.0);
+    EXPECT_DOUBLE_EQ(percentileOf(xs, 25.0), 2.0);
+}
+
+TEST(Percentile, EmptyReturnsZero)
+{
+    EXPECT_DOUBLE_EQ(percentileOf({}, 50.0), 0.0);
+    EXPECT_DOUBLE_EQ(meanOf({}), 0.0);
+    EXPECT_DOUBLE_EQ(geomeanOf({}), 0.0);
+}
+
+TEST(Means, GeomeanAndMean)
+{
+    EXPECT_DOUBLE_EQ(meanOf({2.0, 4.0, 6.0}), 4.0);
+    EXPECT_NEAR(geomeanOf({1.0, 8.0}), std::sqrt(8.0), 1e-12);
+    // Non-positive input makes the geomean undefined; we return 0.
+    EXPECT_DOUBLE_EQ(geomeanOf({1.0, 0.0}), 0.0);
+}
+
+/** Property: histogram percentile tracks exact percentile loosely. */
+class HistogramPercentileProperty
+    : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(HistogramPercentileProperty, WithinOneBinOfExact)
+{
+    double p = GetParam();
+    Rng rng(99);
+    Histogram h(0.0, 1.0, 50);
+    std::vector<double> xs;
+    for (int i = 0; i < 2000; ++i) {
+        double x = rng.uniform();
+        xs.push_back(x);
+        h.push(x);
+    }
+    EXPECT_NEAR(h.percentile(p), percentileOf(xs, p), 0.03);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, HistogramPercentileProperty,
+                         ::testing::Values(5.0, 25.0, 50.0, 75.0,
+                                           95.0, 99.0));
+
+} // namespace
+} // namespace psm

@@ -1,0 +1,216 @@
+/**
+ * @file
+ * Stress and failure-injection tests: the framework must stay sane
+ * under oscillating caps, rapid churn, drained batteries and
+ * degenerate configurations.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/manager.hh"
+#include "perf/workloads.hh"
+
+namespace psm::core
+{
+namespace
+{
+
+using perf::workload;
+using perf::workloadLibrary;
+
+TEST(Stress, OscillatingCapNeverWedgesTheManager)
+{
+    sim::Server server;
+    server.attachEsd(esd::leadAcidUps());
+    server.setCap(100.0);
+    ManagerConfig cfg;
+    cfg.policy = PolicyKind::AppResEsdAware;
+    ServerManager manager(server, cfg);
+    manager.seedCorpus(workloadLibrary());
+    manager.addApp(workload("stream"));
+    manager.addApp(workload("kmeans"));
+
+    // Thrash the cap across every regime, including one below
+    // P_idle.
+    const double caps[] = {100.0, 80.0, 70.0, 45.0, 120.0, 75.0,
+                           100.0, 60.0, 90.0};
+    for (double cap : caps) {
+        manager.setCap(cap);
+        manager.run(toTicks(5.0));
+    }
+
+    // Sanity: still making progress once the cap is workable again.
+    manager.setCap(100.0);
+    double before = manager.records()[0].beats +
+                    manager.records()[1].beats;
+    manager.run(toTicks(10.0));
+    double after = manager.records()[0].beats +
+                   manager.records()[1].beats;
+    EXPECT_GT(after, before);
+    EXPECT_EQ(manager.mode(), CoordinationMode::Space);
+}
+
+TEST(Stress, CapBelowIdleIdlesButRecovers)
+{
+    sim::Server server;
+    server.setCap(40.0); // below P_idle: physically unmeetable
+    ManagerConfig cfg;
+    cfg.policy = PolicyKind::AppResAware;
+    ServerManager manager(server, cfg);
+    manager.seedCorpus(workloadLibrary());
+    manager.addApp(workload("x264"));
+    manager.run(toTicks(10.0));
+    EXPECT_EQ(manager.mode(), CoordinationMode::Idle);
+
+    manager.setCap(100.0);
+    manager.run(toTicks(10.0));
+    EXPECT_EQ(manager.mode(), CoordinationMode::Space);
+    EXPECT_GT(manager.serverNormalizedThroughput(), 0.0);
+}
+
+TEST(Stress, TinyBatteryStillCyclesWithoutViolatingHard)
+{
+    sim::Server server;
+    esd::BatteryConfig tiny = esd::leadAcidUps();
+    tiny.capacity = 150.0; // seconds-scale cycles
+    server.attachEsd(tiny);
+    server.setCap(72.0);
+    ManagerConfig cfg;
+    cfg.policy = PolicyKind::AppResEsdAware;
+    ServerManager manager(server, cfg);
+    manager.seedCorpus(workloadLibrary());
+    manager.addApp(workload("stream"));
+    manager.addApp(workload("kmeans"));
+    manager.run(toTicks(40.0));
+
+    EXPECT_EQ(manager.mode(), CoordinationMode::EsdAssisted);
+    EXPECT_GT(manager.serverNormalizedThroughput(), 0.05);
+    // The battery floor forces early OFF switches instead of
+    // sustained over-cap draw: average stays at/below the cap.
+    EXPECT_LE(server.meter().averagePower(), 72.5);
+    EXPECT_GT(server.battery()->equivalentCycles(), 1.0);
+}
+
+TEST(Stress, RapidArrivalDepartureChurn)
+{
+    sim::Server server;
+    server.setCap(100.0);
+    ManagerConfig cfg;
+    cfg.policy = PolicyKind::AppResAware;
+    ServerManager manager(server, cfg);
+    manager.seedCorpus(workloadLibrary());
+
+    // Short jobs arriving as sockets free up.
+    const char *names[] = {"kmeans", "x264", "pagerank", "ferret",
+                           "triangle", "apr"};
+    std::size_t next = 0;
+    manager.addApp([&] {
+        perf::AppProfile p = workload(names[next++]);
+        p.totalHeartbeats = 400.0;
+        return p;
+    }());
+    manager.addApp([&] {
+        perf::AppProfile p = workload(names[next++]);
+        p.totalHeartbeats = 400.0;
+        return p;
+    }());
+
+    for (int step = 0; step < 120 && next < 6; ++step) {
+        manager.run(toTicks(1.0));
+        if (server.freeSockets() > 0 && next < 6) {
+            perf::AppProfile p = workload(names[next++]);
+            p.totalHeartbeats = 400.0;
+            manager.addApp(p);
+        }
+    }
+    manager.runUntilAllDone(toTicks(180.0));
+    EXPECT_FALSE(manager.anyAppRunning());
+
+    // All six jobs completed with real progress accounted.
+    auto records = manager.records();
+    ASSERT_EQ(records.size(), 6u);
+    for (const auto &rec : records) {
+        EXPECT_TRUE(rec.done) << rec.name;
+        EXPECT_NEAR(rec.beats, 400.0, 1.0) << rec.name;
+    }
+    // Departure events fired for each.
+    int departures = 0;
+    for (const auto &ev : manager.eventLog())
+        departures += ev.kind == EventKind::Departure;
+    EXPECT_EQ(departures, 6);
+}
+
+TEST(Stress, SingleAppGetsTheWholeBudget)
+{
+    sim::Server server;
+    server.setCap(100.0);
+    ManagerConfig cfg;
+    cfg.policy = PolicyKind::AppResAware;
+    ServerManager manager(server, cfg);
+    manager.seedCorpus(workloadLibrary());
+    manager.addApp(workload("kmeans"));
+    manager.run(toTicks(20.0));
+    // Budget (28+ W) exceeds kmeans' max draw: it runs uncapped.
+    EXPECT_GT(manager.serverNormalizedThroughput(), 0.9);
+}
+
+TEST(Stress, EmptyCorpusStillWorks)
+{
+    // No previously seen applications: CF falls back to biases from
+    // the app's own sparse samples.
+    sim::Server server;
+    server.setCap(100.0);
+    ManagerConfig cfg;
+    cfg.policy = PolicyKind::AppResAware;
+    ServerManager manager(server, cfg);
+    manager.addApp(workload("stream"));
+    manager.addApp(workload("kmeans"));
+    manager.run(toTicks(30.0));
+    EXPECT_GT(manager.serverNormalizedThroughput(), 0.3);
+    EXPECT_LE(server.meter().averagePower(), 101.0);
+}
+
+TEST(Stress, OracleAndCfAgreeOnRegime)
+{
+    for (double cap : {100.0, 80.0}) {
+        sim::Server s1, s2;
+        s1.setCap(cap);
+        s2.setCap(cap);
+        ManagerConfig c1, c2;
+        c1.policy = c2.policy = PolicyKind::AppResAware;
+        c1.oracleUtilities = true;
+        ServerManager m1(s1, c1), m2(s2, c2);
+        m1.seedCorpus(workloadLibrary());
+        m2.seedCorpus(workloadLibrary());
+        for (auto *m : {&m1, &m2}) {
+            m->addApp(workload("facesim"));
+            m->addApp(workload("bfs"));
+            m->run(toTicks(30.0));
+        }
+        EXPECT_EQ(m1.mode(), m2.mode()) << "cap " << cap;
+        EXPECT_NEAR(m1.serverNormalizedThroughput(),
+                    m2.serverNormalizedThroughput(), 0.12)
+            << "cap " << cap;
+    }
+}
+
+TEST(Stress, DeterministicGivenSeed)
+{
+    auto run_once = [] {
+        sim::Server server;
+        server.setCap(100.0);
+        ManagerConfig cfg;
+        cfg.policy = PolicyKind::AppResAware;
+        cfg.seed = 99;
+        ServerManager manager(server, cfg);
+        manager.seedCorpus(workloadLibrary());
+        manager.addApp(workload("stream"));
+        manager.addApp(workload("kmeans"));
+        manager.run(toTicks(20.0));
+        return manager.serverNormalizedThroughput();
+    };
+    EXPECT_DOUBLE_EQ(run_once(), run_once());
+}
+
+} // namespace
+} // namespace psm::core

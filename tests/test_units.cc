@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Unit tests for simulated-time and unit helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "util/units.hh"
+
+namespace psm
+{
+namespace
+{
+
+TEST(Units, TickResolutionIsHundredMicroseconds)
+{
+    EXPECT_EQ(ticksPerSecond, 10000u);
+    EXPECT_EQ(ticksPerMs, 10u);
+}
+
+TEST(Units, ToSecondsInvertsToTicks)
+{
+    for (double s : {0.0, 0.001, 0.5, 1.0, 3.25, 100.0}) {
+        EXPECT_NEAR(toSeconds(toTicks(s)), s, 1e-4)
+            << "round trip failed for " << s;
+    }
+}
+
+TEST(Units, ToTicksClampsNegative)
+{
+    EXPECT_EQ(toTicks(-1.0), 0u);
+    EXPECT_EQ(toTicks(0.0), 0u);
+}
+
+TEST(Units, ToTicksRounds)
+{
+    // 0.00016 s = 1.6 ticks, rounds to 2.
+    EXPECT_EQ(toTicks(0.00016), 2u);
+    // 0.00013 s = 1.3 ticks, rounds to 1.
+    EXPECT_EQ(toTicks(0.00013), 1u);
+}
+
+TEST(Units, EnergyOverIntegratesPower)
+{
+    // 100 W for 2 s = 200 J.
+    EXPECT_DOUBLE_EQ(energyOver(100.0, 2 * ticksPerSecond), 200.0);
+    EXPECT_DOUBLE_EQ(energyOver(50.0, 0), 0.0);
+}
+
+TEST(Units, FormattersProduceReadableStrings)
+{
+    EXPECT_EQ(formatTime(ticksPerSecond), "1.0000 s");
+    EXPECT_EQ(formatPower(87.25), "87.2 W");
+}
+
+class TickRoundTrip : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(TickRoundTrip, SecondsSurviveConversion)
+{
+    double s = GetParam();
+    EXPECT_NEAR(toSeconds(toTicks(s)), s, 0.5 / ticksPerSecond);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, TickRoundTrip,
+                         ::testing::Values(0.0001, 0.01, 0.123, 1.7,
+                                           42.0, 86400.0));
+
+} // namespace
+} // namespace psm

@@ -1,0 +1,204 @@
+/**
+ * @file
+ * Tests for the RNG, math helpers and table writer.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+#include "util/mathutil.hh"
+#include "util/random.hh"
+#include "util/table.hh"
+
+namespace psm
+{
+namespace
+{
+
+// --- Rng --------------------------------------------------------------
+
+TEST(Rng, DeterministicFromSeed)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+}
+
+TEST(Rng, ReseedRestartsStream)
+{
+    Rng a(5);
+    double first = a.uniform();
+    a.uniform();
+    a.reseed(5);
+    EXPECT_DOUBLE_EQ(a.uniform(), first);
+}
+
+TEST(Rng, UniformRangeRespected)
+{
+    Rng rng(1);
+    for (int i = 0; i < 1000; ++i) {
+        double x = rng.uniform(2.0, 3.0);
+        EXPECT_GE(x, 2.0);
+        EXPECT_LT(x, 3.0);
+        int n = rng.uniformInt(-2, 2);
+        EXPECT_GE(n, -2);
+        EXPECT_LE(n, 2);
+    }
+}
+
+TEST(Rng, SampleIndicesDistinctAndInRange)
+{
+    Rng rng(42);
+    auto sample = rng.sampleIndices(100, 30);
+    EXPECT_EQ(sample.size(), 30u);
+    std::set<std::size_t> unique(sample.begin(), sample.end());
+    EXPECT_EQ(unique.size(), 30u);
+    for (std::size_t ix : sample)
+        EXPECT_LT(ix, 100u);
+}
+
+TEST(Rng, SampleAllIndicesIsPermutation)
+{
+    Rng rng(42);
+    auto sample = rng.sampleIndices(20, 20);
+    std::sort(sample.begin(), sample.end());
+    for (std::size_t i = 0; i < 20; ++i)
+        EXPECT_EQ(sample[i], i);
+}
+
+TEST(Rng, ShufflePreservesElements)
+{
+    Rng rng(9);
+    std::vector<int> v = {1, 2, 3, 4, 5, 6, 7};
+    auto orig = v;
+    rng.shuffle(v);
+    std::sort(v.begin(), v.end());
+    EXPECT_EQ(v, orig);
+}
+
+TEST(Rng, GaussianMomentsApproximatelyCorrect)
+{
+    Rng rng(5);
+    double sum = 0.0, sq = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        double x = rng.gaussian(10.0, 3.0);
+        sum += x;
+        sq += x * x;
+    }
+    double mean = sum / n;
+    double var = sq / n - mean * mean;
+    EXPECT_NEAR(mean, 10.0, 0.1);
+    EXPECT_NEAR(var, 9.0, 0.5);
+}
+
+// --- Math helpers ------------------------------------------------------
+
+TEST(MathUtil, Linspace)
+{
+    auto v = linspace(0.0, 1.0, 5);
+    ASSERT_EQ(v.size(), 5u);
+    EXPECT_DOUBLE_EQ(v.front(), 0.0);
+    EXPECT_DOUBLE_EQ(v.back(), 1.0);
+    EXPECT_DOUBLE_EQ(v[2], 0.5);
+}
+
+TEST(MathUtil, InterpolateInsideAndOutside)
+{
+    std::vector<double> xs = {0.0, 1.0, 3.0};
+    std::vector<double> ys = {0.0, 10.0, 30.0};
+    EXPECT_DOUBLE_EQ(interpolate(xs, ys, 0.5), 5.0);
+    EXPECT_DOUBLE_EQ(interpolate(xs, ys, 2.0), 20.0);
+    // Clamped extrapolation.
+    EXPECT_DOUBLE_EQ(interpolate(xs, ys, -5.0), 0.0);
+    EXPECT_DOUBLE_EQ(interpolate(xs, ys, 99.0), 30.0);
+}
+
+TEST(MathUtil, Quantize)
+{
+    EXPECT_DOUBLE_EQ(quantize(1.26, 0.1), 1.3);
+    EXPECT_DOUBLE_EQ(quantize(1.24, 0.1), 1.2);
+    EXPECT_DOUBLE_EQ(quantize(-0.26, 0.1), -0.3);
+}
+
+TEST(MathUtil, SaturatingCurveProperties)
+{
+    EXPECT_DOUBLE_EQ(saturating(0.0, 10.0, 1.0), 0.0);
+    EXPECT_LT(saturating(1.0, 10.0, 1.0), 10.0);
+    // Monotone and bounded by the ceiling.
+    double prev = 0.0;
+    for (double x = 0.0; x < 20.0; x += 0.5) {
+        double y = saturating(x, 10.0, 0.5);
+        EXPECT_GE(y, prev);
+        EXPECT_LE(y, 10.0);
+        prev = y;
+    }
+}
+
+TEST(MathUtil, AmdahlLimits)
+{
+    // Fully serial: no speedup.
+    EXPECT_DOUBLE_EQ(amdahlSpeedup(16.0, 0.0), 1.0);
+    // Fully parallel: linear speedup.
+    EXPECT_DOUBLE_EQ(amdahlSpeedup(16.0, 1.0), 16.0);
+    // One worker: always 1.
+    EXPECT_DOUBLE_EQ(amdahlSpeedup(1.0, 0.7), 1.0);
+}
+
+class AmdahlMonotone : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(AmdahlMonotone, SpeedupIncreasesWithWorkers)
+{
+    double pf = GetParam();
+    double prev = 0.0;
+    for (double n = 1.0; n <= 12.0; n += 1.0) {
+        double s = amdahlSpeedup(n, pf);
+        EXPECT_GT(s, prev);
+        EXPECT_LE(s, n + 1e-9);
+        prev = s;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, AmdahlMonotone,
+                         ::testing::Values(0.1, 0.5, 0.8, 0.9, 0.99));
+
+// --- Table -------------------------------------------------------------
+
+TEST(Table, BuildsAndFormats)
+{
+    Table t({"name", "watts"});
+    t.beginRow().cell("idle").cell(50.0, 1).endRow();
+    t.addRow({"cm", "20"});
+    EXPECT_EQ(t.rowCount(), 2u);
+    EXPECT_EQ(t.at(0, 1), "50.0");
+
+    std::ostringstream os;
+    t.print(os);
+    std::string out = os.str();
+    EXPECT_NE(out.find("name"), std::string::npos);
+    EXPECT_NE(out.find("idle"), std::string::npos);
+    EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(Table, CsvQuotesCommas)
+{
+    Table t({"a", "b"});
+    t.addRow({"x,y", "2"});
+    std::ostringstream os;
+    t.printCsv(os);
+    EXPECT_EQ(os.str(), "a,b\n\"x,y\",2\n");
+}
+
+TEST(Table, Formatters)
+{
+    EXPECT_EQ(fmtDouble(3.14159, 2), "3.14");
+    EXPECT_EQ(fmtPercent(0.375, 1), "37.5%");
+}
+
+} // namespace
+} // namespace psm

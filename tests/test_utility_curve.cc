@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Tests for utility curves / Pareto frontiers and resource marginals.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cf/profiler.hh"
+#include "core/utility_curve.hh"
+#include "perf/perf_model.hh"
+#include "perf/workloads.hh"
+#include "util/random.hh"
+
+namespace psm::core
+{
+namespace
+{
+
+using power::defaultPlatform;
+
+cf::UtilitySurface
+surfaceFor(const std::string &app)
+{
+    const auto &plat = defaultPlatform();
+    cf::Profiler prof(plat, 0.0);
+    perf::PerfModel model(plat, perf::workload(app));
+    Rng rng(1);
+    std::vector<double> p, h;
+    prof.measureAll(model, p, h, rng);
+    return cf::UtilityEstimator::surfaceFromRows(p, h);
+}
+
+std::vector<power::KnobSetting>
+allSettings()
+{
+    return defaultPlatform().knobSpace();
+}
+
+class CurvePerApp : public ::testing::TestWithParam<std::string>
+{
+  protected:
+    cf::UtilitySurface surface = surfaceFor(GetParam());
+    UtilityCurve curve{GetParam(), allSettings(), surface,
+                       KnobFreedom::All};
+};
+
+TEST_P(CurvePerApp, FrontierIsStrictlyImproving)
+{
+    const auto &pts = curve.points();
+    ASSERT_FALSE(pts.empty());
+    for (std::size_t i = 1; i < pts.size(); ++i) {
+        EXPECT_GT(pts[i].power, pts[i - 1].power);
+        EXPECT_GT(pts[i].hbRate, pts[i - 1].hbRate);
+    }
+}
+
+TEST_P(CurvePerApp, NoSurfacePointDominatesTheFrontier)
+{
+    // Property: for every surface point there is a frontier point
+    // with no more power and no less performance.
+    const auto &settings = allSettings();
+    for (std::size_t c = 0; c < settings.size(); c += 17) {
+        double p = surface.power[c];
+        double h = surface.hbRate[c];
+        auto best = curve.bestWithin(p);
+        ASSERT_TRUE(best.has_value());
+        EXPECT_GE(best->hbRate, h - 1e-9);
+    }
+}
+
+TEST_P(CurvePerApp, PerfAtIsMonotone)
+{
+    double prev = 0.0;
+    for (double b = 0.0; b <= 30.0; b += 0.5) {
+        double perf = curve.perfAt(b);
+        EXPECT_GE(perf, prev - 1e-12);
+        EXPECT_LE(perf, 1.0 + 1e-9);
+        prev = perf;
+    }
+}
+
+TEST_P(CurvePerApp, BestWithinBudgetEdges)
+{
+    EXPECT_FALSE(curve.bestWithin(curve.minPower() - 0.1).has_value());
+    auto top = curve.bestWithin(1000.0);
+    ASSERT_TRUE(top.has_value());
+    EXPECT_NEAR(top->perfNorm, 1.0, 1e-9);
+    EXPECT_DOUBLE_EQ(top->power, curve.maxPower());
+}
+
+TEST_P(CurvePerApp, MarginalUtilityIsZeroOutsideTheFrontier)
+{
+    EXPECT_DOUBLE_EQ(curve.marginalUtility(curve.minPower() - 1.0),
+                     0.0);
+    EXPECT_DOUBLE_EQ(curve.marginalUtility(curve.maxPower() + 1.0),
+                     0.0);
+    // Somewhere in the middle it is positive.
+    double mid = (curve.minPower() + curve.maxPower()) / 2.0;
+    EXPECT_GT(curve.marginalUtility(mid), 0.0);
+}
+
+TEST_P(CurvePerApp, MostEfficientPointHasBestRatio)
+{
+    auto eff = curve.mostEfficientWithin(curve.maxPower());
+    ASSERT_TRUE(eff.has_value());
+    double ratio = eff->perfNorm / eff->power;
+    for (const auto &p : curve.points())
+        EXPECT_GE(ratio, p.perfNorm / p.power - 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Apps, CurvePerApp,
+                         ::testing::Values("stream", "kmeans", "bfs",
+                                           "x264", "facesim"));
+
+TEST(UtilityCurve, FrequencyOnlyRestrictsKnobs)
+{
+    auto surface = surfaceFor("kmeans");
+    UtilityCurve curve("kmeans", allSettings(), surface,
+                       KnobFreedom::FrequencyOnly);
+    const auto &plat = defaultPlatform();
+    for (const auto &p : curve.points()) {
+        EXPECT_EQ(p.setting.cores, plat.coresMaxPerApp);
+        EXPECT_DOUBLE_EQ(p.setting.dramPower, plat.dramPowerMax);
+    }
+    // The restricted frontier starts higher than the free one.
+    UtilityCurve free_curve("kmeans", allSettings(), surface,
+                            KnobFreedom::All);
+    EXPECT_GT(curve.minPower(), free_curve.minPower());
+}
+
+TEST(ResourceMarginals, MemoryAppFavorsDramWatts)
+{
+    // The Fig. 3 comparison: at a mid setting, STREAM's best next
+    // watt goes to DRAM, kmeans' to frequency/cores.
+    const auto &plat = defaultPlatform();
+    power::KnobSetting base{1.6, 3, 6.0};
+    auto s = resourceMarginals(plat, allSettings(),
+                               surfaceFor("stream"), base);
+    auto k = resourceMarginals(plat, allSettings(),
+                               surfaceFor("kmeans"), base);
+    EXPECT_GT(s.dramPerWatt, s.freqPerWatt);
+    EXPECT_GT(s.dramPerWatt, k.dramPerWatt);
+    EXPECT_GT(k.corePerWatt + k.freqPerWatt, k.dramPerWatt);
+}
+
+TEST(ResourceMarginals, ZeroAtKnobCeilings)
+{
+    const auto &plat = defaultPlatform();
+    auto m = resourceMarginals(plat, allSettings(),
+                               surfaceFor("kmeans"),
+                               plat.maxSetting());
+    // No knob can go beyond its maximum.
+    EXPECT_DOUBLE_EQ(m.corePerWatt, 0.0);
+    EXPECT_DOUBLE_EQ(m.freqPerWatt, 0.0);
+    EXPECT_DOUBLE_EQ(m.dramPerWatt, 0.0);
+}
+
+TEST(AverageSurfaces, BlendsNormalizedShapes)
+{
+    auto a = surfaceFor("stream");
+    auto b = surfaceFor("kmeans");
+    auto avg = averageSurfaces({a, b});
+    ASSERT_EQ(avg.power.size(), a.power.size());
+    for (std::size_t c = 0; c < avg.power.size(); c += 31) {
+        EXPECT_NEAR(avg.power[c], (a.power[c] + b.power[c]) / 2.0,
+                    1e-9);
+        // Normalized performance lies in (0, 1].
+        EXPECT_GT(avg.hbRate[c], 0.0);
+        EXPECT_LE(avg.hbRate[c], 1.0 + 1e-9);
+    }
+}
+
+} // namespace
+} // namespace psm::core
