@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_scheduler.dir/bench_ext_scheduler.cc.o"
+  "CMakeFiles/bench_ext_scheduler.dir/bench_ext_scheduler.cc.o.d"
+  "bench_ext_scheduler"
+  "bench_ext_scheduler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_scheduler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

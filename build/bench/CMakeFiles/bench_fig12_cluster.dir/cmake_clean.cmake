@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_cluster.dir/bench_fig12_cluster.cc.o"
+  "CMakeFiles/bench_fig12_cluster.dir/bench_fig12_cluster.cc.o.d"
+  "bench_fig12_cluster"
+  "bench_fig12_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_app_utility.dir/bench_fig2_app_utility.cc.o"
+  "CMakeFiles/bench_fig2_app_utility.dir/bench_fig2_app_utility.cc.o.d"
+  "bench_fig2_app_utility"
+  "bench_fig2_app_utility.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_app_utility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_esd_duty.dir/bench_fig5_esd_duty.cc.o"
+  "CMakeFiles/bench_fig5_esd_duty.dir/bench_fig5_esd_duty.cc.o.d"
+  "bench_fig5_esd_duty"
+  "bench_fig5_esd_duty.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_esd_duty.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

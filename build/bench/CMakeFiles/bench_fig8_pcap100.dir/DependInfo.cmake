@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig8_pcap100.cc" "bench/CMakeFiles/bench_fig8_pcap100.dir/bench_fig8_pcap100.cc.o" "gcc" "bench/CMakeFiles/bench_fig8_pcap100.dir/bench_fig8_pcap100.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cluster/CMakeFiles/psm_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/psm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/cf/CMakeFiles/psm_cf.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/psm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/esd/CMakeFiles/psm_esd.dir/DependInfo.cmake"
+  "/root/repo/build/src/perf/CMakeFiles/psm_perf.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/psm_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/psm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

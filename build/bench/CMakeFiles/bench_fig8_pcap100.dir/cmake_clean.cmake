@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_pcap100.dir/bench_fig8_pcap100.cc.o"
+  "CMakeFiles/bench_fig8_pcap100.dir/bench_fig8_pcap100.cc.o.d"
+  "bench_fig8_pcap100"
+  "bench_fig8_pcap100.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_pcap100.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_mix_utility.dir/bench_fig9_mix_utility.cc.o"
+  "CMakeFiles/bench_fig9_mix_utility.dir/bench_fig9_mix_utility.cc.o.d"
+  "bench_fig9_mix_utility"
+  "bench_fig9_mix_utility.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_mix_utility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/battery_boost.dir/battery_boost.cpp.o"
+  "CMakeFiles/battery_boost.dir/battery_boost.cpp.o.d"
+  "battery_boost"
+  "battery_boost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/battery_boost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

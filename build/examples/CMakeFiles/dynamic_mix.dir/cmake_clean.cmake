@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynamic_mix.dir/dynamic_mix.cpp.o"
+  "CMakeFiles/dynamic_mix.dir/dynamic_mix.cpp.o.d"
+  "dynamic_mix"
+  "dynamic_mix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynamic_mix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

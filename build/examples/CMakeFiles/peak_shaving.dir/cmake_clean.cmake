@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/peak_shaving.dir/peak_shaving.cpp.o"
+  "CMakeFiles/peak_shaving.dir/peak_shaving.cpp.o.d"
+  "peak_shaving"
+  "peak_shaving.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/peak_shaving.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

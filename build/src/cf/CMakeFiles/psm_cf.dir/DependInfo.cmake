@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cf/als.cc" "src/cf/CMakeFiles/psm_cf.dir/als.cc.o" "gcc" "src/cf/CMakeFiles/psm_cf.dir/als.cc.o.d"
+  "/root/repo/src/cf/cross_validation.cc" "src/cf/CMakeFiles/psm_cf.dir/cross_validation.cc.o" "gcc" "src/cf/CMakeFiles/psm_cf.dir/cross_validation.cc.o.d"
+  "/root/repo/src/cf/estimator.cc" "src/cf/CMakeFiles/psm_cf.dir/estimator.cc.o" "gcc" "src/cf/CMakeFiles/psm_cf.dir/estimator.cc.o.d"
+  "/root/repo/src/cf/matrix.cc" "src/cf/CMakeFiles/psm_cf.dir/matrix.cc.o" "gcc" "src/cf/CMakeFiles/psm_cf.dir/matrix.cc.o.d"
+  "/root/repo/src/cf/profiler.cc" "src/cf/CMakeFiles/psm_cf.dir/profiler.cc.o" "gcc" "src/cf/CMakeFiles/psm_cf.dir/profiler.cc.o.d"
+  "/root/repo/src/cf/sampler.cc" "src/cf/CMakeFiles/psm_cf.dir/sampler.cc.o" "gcc" "src/cf/CMakeFiles/psm_cf.dir/sampler.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/perf/CMakeFiles/psm_perf.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/psm_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/psm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psm_cf.dir/als.cc.o"
+  "CMakeFiles/psm_cf.dir/als.cc.o.d"
+  "CMakeFiles/psm_cf.dir/cross_validation.cc.o"
+  "CMakeFiles/psm_cf.dir/cross_validation.cc.o.d"
+  "CMakeFiles/psm_cf.dir/estimator.cc.o"
+  "CMakeFiles/psm_cf.dir/estimator.cc.o.d"
+  "CMakeFiles/psm_cf.dir/matrix.cc.o"
+  "CMakeFiles/psm_cf.dir/matrix.cc.o.d"
+  "CMakeFiles/psm_cf.dir/profiler.cc.o"
+  "CMakeFiles/psm_cf.dir/profiler.cc.o.d"
+  "CMakeFiles/psm_cf.dir/sampler.cc.o"
+  "CMakeFiles/psm_cf.dir/sampler.cc.o.d"
+  "libpsm_cf.a"
+  "libpsm_cf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psm_cf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

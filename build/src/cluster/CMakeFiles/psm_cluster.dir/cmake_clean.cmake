@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psm_cluster.dir/cluster_manager.cc.o"
+  "CMakeFiles/psm_cluster.dir/cluster_manager.cc.o.d"
+  "CMakeFiles/psm_cluster.dir/power_trace.cc.o"
+  "CMakeFiles/psm_cluster.dir/power_trace.cc.o.d"
+  "CMakeFiles/psm_cluster.dir/scheduler.cc.o"
+  "CMakeFiles/psm_cluster.dir/scheduler.cc.o.d"
+  "libpsm_cluster.a"
+  "libpsm_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psm_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psm_core.dir/accountant.cc.o"
+  "CMakeFiles/psm_core.dir/accountant.cc.o.d"
+  "CMakeFiles/psm_core.dir/coordinator.cc.o"
+  "CMakeFiles/psm_core.dir/coordinator.cc.o.d"
+  "CMakeFiles/psm_core.dir/manager.cc.o"
+  "CMakeFiles/psm_core.dir/manager.cc.o.d"
+  "CMakeFiles/psm_core.dir/policy.cc.o"
+  "CMakeFiles/psm_core.dir/policy.cc.o.d"
+  "CMakeFiles/psm_core.dir/power_allocator.cc.o"
+  "CMakeFiles/psm_core.dir/power_allocator.cc.o.d"
+  "CMakeFiles/psm_core.dir/utility_curve.cc.o"
+  "CMakeFiles/psm_core.dir/utility_curve.cc.o.d"
+  "libpsm_core.a"
+  "libpsm_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psm_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

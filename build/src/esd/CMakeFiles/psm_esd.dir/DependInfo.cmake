@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/esd/battery.cc" "src/esd/CMakeFiles/psm_esd.dir/battery.cc.o" "gcc" "src/esd/CMakeFiles/psm_esd.dir/battery.cc.o.d"
+  "/root/repo/src/esd/charge_controller.cc" "src/esd/CMakeFiles/psm_esd.dir/charge_controller.cc.o" "gcc" "src/esd/CMakeFiles/psm_esd.dir/charge_controller.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/psm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psm_esd.dir/battery.cc.o"
+  "CMakeFiles/psm_esd.dir/battery.cc.o.d"
+  "CMakeFiles/psm_esd.dir/charge_controller.cc.o"
+  "CMakeFiles/psm_esd.dir/charge_controller.cc.o.d"
+  "libpsm_esd.a"
+  "libpsm_esd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psm_esd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/perf/app_profile.cc" "src/perf/CMakeFiles/psm_perf.dir/app_profile.cc.o" "gcc" "src/perf/CMakeFiles/psm_perf.dir/app_profile.cc.o.d"
+  "/root/repo/src/perf/heartbeats.cc" "src/perf/CMakeFiles/psm_perf.dir/heartbeats.cc.o" "gcc" "src/perf/CMakeFiles/psm_perf.dir/heartbeats.cc.o.d"
+  "/root/repo/src/perf/latency.cc" "src/perf/CMakeFiles/psm_perf.dir/latency.cc.o" "gcc" "src/perf/CMakeFiles/psm_perf.dir/latency.cc.o.d"
+  "/root/repo/src/perf/perf_model.cc" "src/perf/CMakeFiles/psm_perf.dir/perf_model.cc.o" "gcc" "src/perf/CMakeFiles/psm_perf.dir/perf_model.cc.o.d"
+  "/root/repo/src/perf/workloads.cc" "src/perf/CMakeFiles/psm_perf.dir/workloads.cc.o" "gcc" "src/perf/CMakeFiles/psm_perf.dir/workloads.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/power/CMakeFiles/psm_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/psm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psm_perf.dir/app_profile.cc.o"
+  "CMakeFiles/psm_perf.dir/app_profile.cc.o.d"
+  "CMakeFiles/psm_perf.dir/heartbeats.cc.o"
+  "CMakeFiles/psm_perf.dir/heartbeats.cc.o.d"
+  "CMakeFiles/psm_perf.dir/latency.cc.o"
+  "CMakeFiles/psm_perf.dir/latency.cc.o.d"
+  "CMakeFiles/psm_perf.dir/perf_model.cc.o"
+  "CMakeFiles/psm_perf.dir/perf_model.cc.o.d"
+  "CMakeFiles/psm_perf.dir/workloads.cc.o"
+  "CMakeFiles/psm_perf.dir/workloads.cc.o.d"
+  "libpsm_perf.a"
+  "libpsm_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psm_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/power/core_power.cc" "src/power/CMakeFiles/psm_power.dir/core_power.cc.o" "gcc" "src/power/CMakeFiles/psm_power.dir/core_power.cc.o.d"
+  "/root/repo/src/power/dram_power.cc" "src/power/CMakeFiles/psm_power.dir/dram_power.cc.o" "gcc" "src/power/CMakeFiles/psm_power.dir/dram_power.cc.o.d"
+  "/root/repo/src/power/platform.cc" "src/power/CMakeFiles/psm_power.dir/platform.cc.o" "gcc" "src/power/CMakeFiles/psm_power.dir/platform.cc.o.d"
+  "/root/repo/src/power/power_meter.cc" "src/power/CMakeFiles/psm_power.dir/power_meter.cc.o" "gcc" "src/power/CMakeFiles/psm_power.dir/power_meter.cc.o.d"
+  "/root/repo/src/power/rapl.cc" "src/power/CMakeFiles/psm_power.dir/rapl.cc.o" "gcc" "src/power/CMakeFiles/psm_power.dir/rapl.cc.o.d"
+  "/root/repo/src/power/server_power.cc" "src/power/CMakeFiles/psm_power.dir/server_power.cc.o" "gcc" "src/power/CMakeFiles/psm_power.dir/server_power.cc.o.d"
+  "/root/repo/src/power/uncore_power.cc" "src/power/CMakeFiles/psm_power.dir/uncore_power.cc.o" "gcc" "src/power/CMakeFiles/psm_power.dir/uncore_power.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/psm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psm_power.dir/core_power.cc.o"
+  "CMakeFiles/psm_power.dir/core_power.cc.o.d"
+  "CMakeFiles/psm_power.dir/dram_power.cc.o"
+  "CMakeFiles/psm_power.dir/dram_power.cc.o.d"
+  "CMakeFiles/psm_power.dir/platform.cc.o"
+  "CMakeFiles/psm_power.dir/platform.cc.o.d"
+  "CMakeFiles/psm_power.dir/power_meter.cc.o"
+  "CMakeFiles/psm_power.dir/power_meter.cc.o.d"
+  "CMakeFiles/psm_power.dir/rapl.cc.o"
+  "CMakeFiles/psm_power.dir/rapl.cc.o.d"
+  "CMakeFiles/psm_power.dir/server_power.cc.o"
+  "CMakeFiles/psm_power.dir/server_power.cc.o.d"
+  "CMakeFiles/psm_power.dir/uncore_power.cc.o"
+  "CMakeFiles/psm_power.dir/uncore_power.cc.o.d"
+  "libpsm_power.a"
+  "libpsm_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psm_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/application.cc" "src/sim/CMakeFiles/psm_sim.dir/application.cc.o" "gcc" "src/sim/CMakeFiles/psm_sim.dir/application.cc.o.d"
+  "/root/repo/src/sim/event_queue.cc" "src/sim/CMakeFiles/psm_sim.dir/event_queue.cc.o" "gcc" "src/sim/CMakeFiles/psm_sim.dir/event_queue.cc.o.d"
+  "/root/repo/src/sim/server.cc" "src/sim/CMakeFiles/psm_sim.dir/server.cc.o" "gcc" "src/sim/CMakeFiles/psm_sim.dir/server.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/perf/CMakeFiles/psm_perf.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/psm_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/esd/CMakeFiles/psm_esd.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/psm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

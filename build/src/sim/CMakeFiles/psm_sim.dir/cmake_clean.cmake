@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psm_sim.dir/application.cc.o"
+  "CMakeFiles/psm_sim.dir/application.cc.o.d"
+  "CMakeFiles/psm_sim.dir/event_queue.cc.o"
+  "CMakeFiles/psm_sim.dir/event_queue.cc.o.d"
+  "CMakeFiles/psm_sim.dir/server.cc.o"
+  "CMakeFiles/psm_sim.dir/server.cc.o.d"
+  "libpsm_sim.a"
+  "libpsm_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psm_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

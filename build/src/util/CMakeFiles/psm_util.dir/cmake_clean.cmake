@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psm_util.dir/logging.cc.o"
+  "CMakeFiles/psm_util.dir/logging.cc.o.d"
+  "CMakeFiles/psm_util.dir/mathutil.cc.o"
+  "CMakeFiles/psm_util.dir/mathutil.cc.o.d"
+  "CMakeFiles/psm_util.dir/random.cc.o"
+  "CMakeFiles/psm_util.dir/random.cc.o.d"
+  "CMakeFiles/psm_util.dir/stats.cc.o"
+  "CMakeFiles/psm_util.dir/stats.cc.o.d"
+  "CMakeFiles/psm_util.dir/table.cc.o"
+  "CMakeFiles/psm_util.dir/table.cc.o.d"
+  "CMakeFiles/psm_util.dir/units.cc.o"
+  "CMakeFiles/psm_util.dir/units.cc.o.d"
+  "libpsm_util.a"
+  "libpsm_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psm_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

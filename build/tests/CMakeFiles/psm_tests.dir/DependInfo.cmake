@@ -1,0 +1,45 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_allocator.cc" "tests/CMakeFiles/psm_tests.dir/test_allocator.cc.o" "gcc" "tests/CMakeFiles/psm_tests.dir/test_allocator.cc.o.d"
+  "/root/repo/tests/test_battery.cc" "tests/CMakeFiles/psm_tests.dir/test_battery.cc.o" "gcc" "tests/CMakeFiles/psm_tests.dir/test_battery.cc.o.d"
+  "/root/repo/tests/test_cf.cc" "tests/CMakeFiles/psm_tests.dir/test_cf.cc.o" "gcc" "tests/CMakeFiles/psm_tests.dir/test_cf.cc.o.d"
+  "/root/repo/tests/test_cluster.cc" "tests/CMakeFiles/psm_tests.dir/test_cluster.cc.o" "gcc" "tests/CMakeFiles/psm_tests.dir/test_cluster.cc.o.d"
+  "/root/repo/tests/test_coordination.cc" "tests/CMakeFiles/psm_tests.dir/test_coordination.cc.o" "gcc" "tests/CMakeFiles/psm_tests.dir/test_coordination.cc.o.d"
+  "/root/repo/tests/test_extensions.cc" "tests/CMakeFiles/psm_tests.dir/test_extensions.cc.o" "gcc" "tests/CMakeFiles/psm_tests.dir/test_extensions.cc.o.d"
+  "/root/repo/tests/test_manager.cc" "tests/CMakeFiles/psm_tests.dir/test_manager.cc.o" "gcc" "tests/CMakeFiles/psm_tests.dir/test_manager.cc.o.d"
+  "/root/repo/tests/test_paper_claims.cc" "tests/CMakeFiles/psm_tests.dir/test_paper_claims.cc.o" "gcc" "tests/CMakeFiles/psm_tests.dir/test_paper_claims.cc.o.d"
+  "/root/repo/tests/test_perf_model.cc" "tests/CMakeFiles/psm_tests.dir/test_perf_model.cc.o" "gcc" "tests/CMakeFiles/psm_tests.dir/test_perf_model.cc.o.d"
+  "/root/repo/tests/test_platform.cc" "tests/CMakeFiles/psm_tests.dir/test_platform.cc.o" "gcc" "tests/CMakeFiles/psm_tests.dir/test_platform.cc.o.d"
+  "/root/repo/tests/test_power_models.cc" "tests/CMakeFiles/psm_tests.dir/test_power_models.cc.o" "gcc" "tests/CMakeFiles/psm_tests.dir/test_power_models.cc.o.d"
+  "/root/repo/tests/test_properties.cc" "tests/CMakeFiles/psm_tests.dir/test_properties.cc.o" "gcc" "tests/CMakeFiles/psm_tests.dir/test_properties.cc.o.d"
+  "/root/repo/tests/test_rapl.cc" "tests/CMakeFiles/psm_tests.dir/test_rapl.cc.o" "gcc" "tests/CMakeFiles/psm_tests.dir/test_rapl.cc.o.d"
+  "/root/repo/tests/test_sim.cc" "tests/CMakeFiles/psm_tests.dir/test_sim.cc.o" "gcc" "tests/CMakeFiles/psm_tests.dir/test_sim.cc.o.d"
+  "/root/repo/tests/test_stats.cc" "tests/CMakeFiles/psm_tests.dir/test_stats.cc.o" "gcc" "tests/CMakeFiles/psm_tests.dir/test_stats.cc.o.d"
+  "/root/repo/tests/test_stress.cc" "tests/CMakeFiles/psm_tests.dir/test_stress.cc.o" "gcc" "tests/CMakeFiles/psm_tests.dir/test_stress.cc.o.d"
+  "/root/repo/tests/test_units.cc" "tests/CMakeFiles/psm_tests.dir/test_units.cc.o" "gcc" "tests/CMakeFiles/psm_tests.dir/test_units.cc.o.d"
+  "/root/repo/tests/test_util_misc.cc" "tests/CMakeFiles/psm_tests.dir/test_util_misc.cc.o" "gcc" "tests/CMakeFiles/psm_tests.dir/test_util_misc.cc.o.d"
+  "/root/repo/tests/test_utility_curve.cc" "tests/CMakeFiles/psm_tests.dir/test_utility_curve.cc.o" "gcc" "tests/CMakeFiles/psm_tests.dir/test_utility_curve.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cluster/CMakeFiles/psm_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/psm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/cf/CMakeFiles/psm_cf.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/psm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/esd/CMakeFiles/psm_esd.dir/DependInfo.cmake"
+  "/root/repo/build/src/perf/CMakeFiles/psm_perf.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/psm_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/psm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
