@@ -11,12 +11,16 @@
 #ifndef PSM_BENCH_BENCH_COMMON_HH
 #define PSM_BENCH_BENCH_COMMON_HH
 
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "cf/profiler.hh"
 #include "core/manager.hh"
+#include "core/telemetry.hh"
 #include "core/utility_curve.hh"
 #include "perf/workloads.hh"
 #include "util/random.hh"
@@ -24,6 +28,29 @@
 
 namespace psm::bench
 {
+
+/**
+ * Env-gated control-plane telemetry dump: set PSM_TELEMETRY=text or
+ * PSM_TELEMETRY=json to stream each experiment's bus to stderr (the
+ * figure tables on stdout stay clean).  @p label names the experiment
+ * in the dump header.
+ */
+inline void
+maybeDumpTelemetry(const core::Telemetry &tel, const std::string &label)
+{
+    const char *fmt = std::getenv("PSM_TELEMETRY");
+    if (!fmt || !*fmt)
+        return;
+    if (std::strcmp(fmt, "json") == 0) {
+        std::cerr << "{\"experiment\":\"" << label
+                  << "\",\"telemetry\":";
+        tel.dumpJson(std::cerr);
+        std::cerr << "}\n";
+    } else {
+        std::cerr << "--- telemetry: " << label << " ---\n";
+        tel.dumpText(std::cerr);
+    }
+}
 
 /** Outcome of running one Table II mix under one policy. */
 struct MixOutcome
@@ -85,6 +112,10 @@ runMix(int mix_id, core::PolicyKind policy, Watts cap, bool with_esd,
                          ? alloc.apps[1].point->power
                          : 0.0;
     }
+
+    maybeDumpTelemetry(manager.telemetry(),
+                       "mix" + std::to_string(mix_id) + "/" +
+                           core::policyName(policy));
     return out;
 }
 

@@ -98,25 +98,19 @@ ClusterManager::uncappedDemandEstimate() const
 void
 ClusterManager::buildNodes()
 {
-    psm_assert(nodes.empty());
-    core::ManagerConfig mc = cfg.manager;
-    mc.policy = cfg.policy == ClusterPolicy::EqualRapl
-                    ? core::PolicyKind::UtilUnaware
-                    : core::PolicyKind::AppResEsdAware;
-    for (int s = 0; s < cfg.servers; ++s) {
-        ManagedServer node;
-        node.server = std::make_unique<sim::Server>();
-        if (cfg.policy == ClusterPolicy::EqualOurs)
-            node.server->attachEsd(cfg.esd);
-        core::ManagerConfig node_cfg = mc;
-        node_cfg.seed = cfg.seed + static_cast<std::uint64_t>(s);
-        node.manager = std::make_unique<core::ServerManager>(
-            *node.server, node_cfg);
-        node.manager->seedCorpus(perf::workloadLibrary());
-        nodes.push_back(std::move(node));
-    }
+    psm_assert(!pool.has_value());
+    NodePoolConfig pc;
+    pc.servers = cfg.servers;
+    pc.manager = cfg.manager;
+    pc.manager.policy = cfg.policy == ClusterPolicy::EqualRapl
+                            ? core::PolicyKind::UtilUnaware
+                            : core::PolicyKind::AppResEsdAware;
+    pc.seedBase = cfg.seed;
+    if (cfg.policy == ClusterPolicy::EqualOurs)
+        pc.esd = cfg.esd;
+    pool.emplace(pc);
     for (auto &app : ledger) {
-        auto &node = nodes[static_cast<std::size_t>(app.homeServer)];
+        auto &node = (*pool)[static_cast<std::size_t>(app.homeServer)];
         app.simAppId = node.manager->addApp(app.profile);
         app.server = app.homeServer;
     }
@@ -129,25 +123,27 @@ ClusterManager::replayEqual(const PowerTrace &caps)
 
     for (Watts cap : caps.values) {
         Watts share = cap / static_cast<double>(cfg.servers);
-        for (auto &node : nodes)
+        tel.count("cluster.cap_updates");
+        for (auto &node : *pool)
             node.manager->setCap(share);
-        for (auto &node : nodes)
+        for (auto &node : *pool)
             node.manager->run(caps.interval);
     }
 
     ClusterResult result;
     result.duration = caps.duration();
     double viol = 0.0;
-    for (auto &node : nodes) {
+    for (auto &node : *pool) {
         result.totalEnergy += node.server->meter().totalEnergy();
         viol += node.server->meter().violationFraction();
     }
-    result.capViolationFraction = viol / nodes.size();
+    result.capViolationFraction =
+        viol / static_cast<double>(pool->size());
     result.avgClusterPower =
         result.totalEnergy / toSeconds(result.duration);
 
     double perf = 0.0;
-    for (auto &node : nodes) {
+    for (auto &node : *pool) {
         for (const auto &rec : node.manager->records())
             perf += rec.normalizedPerf(node.server->now());
     }
@@ -163,7 +159,7 @@ ClusterManager::unplace(std::size_t app_ix)
     LogicalApp &app = ledger[app_ix];
     if (app.server < 0)
         return;
-    auto &node = nodes[static_cast<std::size_t>(app.server)];
+    auto &node = (*pool)[static_cast<std::size_t>(app.server)];
     app.beats +=
         node.server->app(app.simAppId).heartbeats().total();
     node.server->remove(app.simAppId);
@@ -177,7 +173,7 @@ ClusterManager::place(std::size_t app_ix, int server_ix,
 {
     LogicalApp &app = ledger[app_ix];
     psm_assert(app.server < 0);
-    auto &node = nodes[static_cast<std::size_t>(server_ix)];
+    auto &node = (*pool)[static_cast<std::size_t>(server_ix)];
     app.simAppId = node.server->admit(app.profile);
     app.server = server_ix;
     sim::Application &sim_app =
@@ -193,17 +189,16 @@ ClusterManager::replayConsolidation(const PowerTrace &caps)
 {
     // Raw servers, no managers: consolidation never caps a powered
     // server.
-    psm_assert(nodes.empty());
-    for (int s = 0; s < cfg.servers; ++s) {
-        ManagedServer node;
-        node.server = std::make_unique<sim::Server>();
-        nodes.push_back(std::move(node));
-    }
+    psm_assert(!pool.has_value());
+    NodePoolConfig pc;
+    pc.servers = cfg.servers;
+    pc.managed = false;
+    pool.emplace(pc);
     powered.assign(static_cast<std::size_t>(cfg.servers), 0);
 
     ClusterResult result;
     result.duration = caps.duration();
-    std::vector<Joules> last_energy(nodes.size(), 0.0);
+    std::vector<Joules> last_energy(pool->size(), 0.0);
     Tick viol_time = 0;
     int current_on = -1; // force an initial plan
 
@@ -249,6 +244,7 @@ ClusterManager::replayConsolidation(const PowerTrace &caps)
                             downtime += cfg.serverBootDelay;
                         place(a, target, downtime);
                         ++migration_count;
+                        tel.count("cluster.migrations");
                     }
                 }
             }
@@ -261,7 +257,7 @@ ClusterManager::replayConsolidation(const PowerTrace &caps)
         // as their migration/boot downtime deadlines pass.
         const Tick chunk = toTicks(2.0);
         for (int s = 0; s < cfg.servers; ++s) {
-            auto &node = nodes[static_cast<std::size_t>(s)];
+            auto &node = (*pool)[static_cast<std::size_t>(s)];
             if (!powered[static_cast<std::size_t>(s)])
                 continue;
             Tick end = node.server->now() + caps.interval;
@@ -282,7 +278,7 @@ ClusterManager::replayConsolidation(const PowerTrace &caps)
         Watts draw = cfg.offServerPower *
                      static_cast<double>(cfg.servers - current_on);
         for (int s = 0; s < cfg.servers; ++s) {
-            auto &node = nodes[static_cast<std::size_t>(s)];
+            auto &node = (*pool)[static_cast<std::size_t>(s)];
             if (!powered[static_cast<std::size_t>(s)])
                 continue;
             Joules e = node.server->meter().totalEnergy();
@@ -294,9 +290,12 @@ ClusterManager::replayConsolidation(const PowerTrace &caps)
         if (draw > cap + 1e-6)
             viol_time += caps.interval;
 
-        for (const auto &app : ledger)
-            if (app.server < 0)
+        for (const auto &app : ledger) {
+            if (app.server < 0) {
                 ++parked_steps;
+                tel.count("cluster.parked_app_steps");
+            }
+        }
     }
 
     result.migrations = migration_count;
@@ -320,11 +319,21 @@ ClusterManager::replayConsolidation(const PowerTrace &caps)
     return result;
 }
 
+core::Telemetry
+ClusterManager::aggregateTelemetry() const
+{
+    core::Telemetry cluster;
+    cluster.merge(tel);
+    if (pool)
+        cluster.merge(pool->aggregateTelemetry());
+    return cluster;
+}
+
 ClusterResult
 ClusterManager::replay(const PowerTrace &caps)
 {
     psm_assert(!ledger.empty());
-    psm_assert(nodes.empty()); // one replay per ClusterManager
+    psm_assert(!pool.has_value()); // one replay per ClusterManager
     psm_assert(!caps.values.empty());
     if (cfg.policy == ClusterPolicy::ConsolidationMigration)
         return replayConsolidation(caps);

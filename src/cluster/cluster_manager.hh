@@ -35,7 +35,9 @@
 #include <vector>
 
 #include "core/manager.hh"
+#include "core/telemetry.hh"
 #include "esd/battery.hh"
+#include "node_pool.hh"
 #include "perf/workloads.hh"
 #include "power_trace.hh"
 #include "sim/server.hh"
@@ -125,6 +127,13 @@ class ClusterManager
      */
     Watts uncappedDemandEstimate() const;
 
+    /**
+     * Cluster-scope telemetry: every node's control-plane bus folded
+     * into one, plus the cluster driver's own counters (migrations,
+     * parked app-steps).  Empty before replay().
+     */
+    core::Telemetry aggregateTelemetry() const;
+
   private:
     ClusterConfig cfg;
 
@@ -141,15 +150,14 @@ class ClusterManager
     };
     std::vector<LogicalApp> ledger;
 
-    // Equal policies: managed servers.
-    struct ManagedServer
-    {
-        std::unique_ptr<sim::Server> server;
-        std::unique_ptr<core::ServerManager> manager;
-    };
-    std::vector<ManagedServer> nodes;
+    /** Server substrate: managed under the equal policies, raw under
+     * consolidation (which never caps a powered server). */
+    std::optional<NodePool> pool;
 
-    // Consolidation: raw servers, powered set, placement bookkeeping.
+    /** Cluster-driver-level counters (migrations, parked steps). */
+    core::Telemetry tel;
+
+    // Consolidation: powered set, placement bookkeeping.
     std::vector<char> powered;
     std::size_t migration_count = 0;
     std::size_t parked_steps = 0;

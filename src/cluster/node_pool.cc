@@ -1,0 +1,53 @@
+#include "node_pool.hh"
+
+#include "perf/workloads.hh"
+#include "util/logging.hh"
+
+namespace psm::cluster
+{
+
+NodePool::NodePool(const NodePoolConfig &config)
+{
+    psm_assert(config.servers >= 1);
+    node_list.reserve(static_cast<std::size_t>(config.servers));
+    for (int s = 0; s < config.servers; ++s) {
+        Node node;
+        node.server = std::make_unique<sim::Server>();
+        if (config.esd)
+            node.server->attachEsd(*config.esd);
+        if (config.serverCap > 0.0)
+            node.server->setCap(config.serverCap);
+        if (config.managed) {
+            core::ManagerConfig mc = config.manager;
+            mc.seed =
+                config.seedBase + static_cast<std::uint64_t>(s);
+            node.manager = std::make_unique<core::ServerManager>(
+                *node.server, mc);
+            if (config.seedWorkloadCorpus)
+                node.manager->seedCorpus(perf::workloadLibrary());
+        }
+        node_list.push_back(std::move(node));
+    }
+}
+
+Joules
+NodePool::totalEnergy() const
+{
+    Joules total = 0.0;
+    for (const Node &node : node_list)
+        total += node.server->meter().totalEnergy();
+    return total;
+}
+
+core::Telemetry
+NodePool::aggregateTelemetry() const
+{
+    core::Telemetry cluster;
+    for (const Node &node : node_list) {
+        if (node.manager)
+            cluster.merge(node.manager->telemetry());
+    }
+    return cluster;
+}
+
+} // namespace psm::cluster

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * The NodePool: the shared server substrate of the cluster layer.
+ *
+ * Both cluster drivers — the cap-trace replayer (ClusterManager) and
+ * the job scheduler (ClusterScheduler) — need the same thing: N
+ * identical simulated servers, each optionally wrapped in the
+ * per-server control plane (ServerManager) with a deterministic
+ * per-node seed and a corpus seeded from the workload library.  The
+ * pool builds them once, uniformly, and offers cluster-scope rollups
+ * (total energy, merged telemetry) over whatever the drivers did.
+ */
+
+#ifndef PSM_CLUSTER_NODE_POOL_HH
+#define PSM_CLUSTER_NODE_POOL_HH
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/manager.hh"
+#include "core/telemetry.hh"
+#include "esd/battery.hh"
+#include "sim/server.hh"
+#include "util/units.hh"
+
+namespace psm::cluster
+{
+
+/** How to build each node of the pool. */
+struct NodePoolConfig
+{
+    int servers = 1;
+    /**
+     * Wrap each server in a ServerManager (the per-server control
+     * plane).  Raw pools (no manager) serve the consolidation
+     * baseline, which never caps a powered server.
+     */
+    bool managed = true;
+    /** Per-server manager template; node s runs with
+     * seed = seedBase + s. */
+    core::ManagerConfig manager;
+    std::uint64_t seedBase = 0;
+    /** Battery attached to every server when set. */
+    std::optional<esd::BatteryConfig> esd;
+    /** Initial per-server cap (<= 0 leaves the server uncapped). */
+    Watts serverCap = 0.0;
+    /** Seed each manager's CF corpus from the workload library. */
+    bool seedWorkloadCorpus = true;
+};
+
+/**
+ * N uniformly built servers (optionally managed).
+ */
+class NodePool
+{
+  public:
+    /** One server and (when managed) its control plane. */
+    struct Node
+    {
+        std::unique_ptr<sim::Server> server;
+        std::unique_ptr<core::ServerManager> manager; ///< null if raw
+    };
+
+    explicit NodePool(const NodePoolConfig &config);
+
+    std::size_t size() const { return node_list.size(); }
+    Node &operator[](std::size_t ix) { return node_list[ix]; }
+    const Node &operator[](std::size_t ix) const
+    {
+        return node_list[ix];
+    }
+
+    std::vector<Node>::iterator begin() { return node_list.begin(); }
+    std::vector<Node>::iterator end() { return node_list.end(); }
+    std::vector<Node>::const_iterator begin() const
+    {
+        return node_list.begin();
+    }
+    std::vector<Node>::const_iterator end() const
+    {
+        return node_list.end();
+    }
+
+    /** Sum of every node's metered energy. */
+    Joules totalEnergy() const;
+
+    /**
+     * Cluster-scope telemetry: every managed node's bus folded into
+     * one (counters and timers add up, decision records append).
+     */
+    core::Telemetry aggregateTelemetry() const;
+
+  private:
+    std::vector<Node> node_list;
+};
+
+} // namespace psm::cluster
+
+#endif // PSM_CLUSTER_NODE_POOL_HH

@@ -23,22 +23,24 @@ placementPolicyName(PlacementPolicy policy)
     }
 }
 
-ClusterScheduler::ClusterScheduler(SchedulerConfig config)
-    : cfg(std::move(config)), rng(cfg.seed)
+static NodePoolConfig
+schedulerPoolConfig(const SchedulerConfig &cfg)
 {
     psm_assert(cfg.servers >= 1);
     psm_assert(cfg.serverCap > 0.0);
-    for (int s = 0; s < cfg.servers; ++s) {
-        Node node;
-        node.server = std::make_unique<sim::Server>();
-        node.server->setCap(cfg.serverCap);
-        core::ManagerConfig mc = cfg.manager;
-        mc.seed = cfg.seed + static_cast<std::uint64_t>(s) + 1;
-        node.manager = std::make_unique<core::ServerManager>(
-            *node.server, mc);
-        node.manager->seedCorpus(perf::workloadLibrary());
-        nodes.push_back(std::move(node));
-    }
+    NodePoolConfig pc;
+    pc.servers = cfg.servers;
+    pc.manager = cfg.manager;
+    pc.seedBase = cfg.seed + 1;
+    pc.serverCap = cfg.serverCap;
+    return pc;
+}
+
+ClusterScheduler::ClusterScheduler(SchedulerConfig config)
+    : cfg(std::move(config)), rng(cfg.seed),
+      pool(schedulerPoolConfig(cfg)),
+      placed(static_cast<std::size_t>(cfg.servers))
+{
 }
 
 void
@@ -78,7 +80,8 @@ ClusterScheduler::pickServer() const
     int best = -1;
     double best_headroom = -1.0;
     for (int s = 0; s < cfg.servers; ++s) {
-        const Node &node = nodes[static_cast<std::size_t>(s)];
+        const NodePool::Node &node =
+            pool[static_cast<std::size_t>(s)];
         if (node.server->freeSockets() == 0)
             continue;
         if (cfg.placement == PlacementPolicy::FirstFit)
@@ -103,7 +106,7 @@ ClusterScheduler::placeWaitingJobs()
         std::size_t job_ix = queue.front();
         queue.erase(queue.begin());
         Job &job = job_list[job_ix];
-        Node &node = nodes[static_cast<std::size_t>(target)];
+        NodePool::Node &node = pool[static_cast<std::size_t>(target)];
 
         // Two instances of the same workload cannot share a server
         // (names must be unique per server); retarget if needed.
@@ -113,7 +116,8 @@ ClusterScheduler::placeWaitingJobs()
         if (clash) {
             int other = -1;
             for (int s = 0; s < cfg.servers && other < 0; ++s) {
-                Node &cand = nodes[static_cast<std::size_t>(s)];
+                NodePool::Node &cand =
+                    pool[static_cast<std::size_t>(s)];
                 if (cand.server->freeSockets() == 0)
                     continue;
                 bool also_clash = false;
@@ -127,25 +131,30 @@ ClusterScheduler::placeWaitingJobs()
             if (other < 0) {
                 // Nowhere legal right now; try again later.
                 queue.insert(queue.begin(), job_ix);
+                tel.count("cluster.placement_deferrals");
                 return;
             }
             target = other;
+            tel.count("cluster.placement_retargets");
         }
 
-        Node &host = nodes[static_cast<std::size_t>(target)];
+        NodePool::Node &host = pool[static_cast<std::size_t>(target)];
         int app_id = host.manager->addApp(job.profile);
-        host.placed.emplace_back(job_ix, app_id);
+        placed[static_cast<std::size_t>(target)].emplace_back(job_ix,
+                                                             app_id);
         job.started = clock;
         job.server = target;
+        tel.count("cluster.placements");
     }
 }
 
 void
 ClusterScheduler::harvestFinished()
 {
-    for (auto &node : nodes) {
-        for (auto it = node.placed.begin();
-             it != node.placed.end();) {
+    for (std::size_t s = 0; s < pool.size(); ++s) {
+        NodePool::Node &node = pool[s];
+        auto &hosted = placed[s];
+        for (auto it = hosted.begin(); it != hosted.end();) {
             auto [job_ix, app_id] = *it;
             bool finished = true;
             for (const auto &rec : node.manager->records()) {
@@ -154,7 +163,7 @@ ClusterScheduler::harvestFinished()
             }
             if (finished) {
                 job_list[job_ix].finished = clock;
-                it = node.placed.erase(it);
+                it = hosted.erase(it);
             } else {
                 ++it;
             }
@@ -176,15 +185,15 @@ ClusterScheduler::run(Tick horizon)
         }
         placeWaitingJobs();
 
-        for (auto &node : nodes)
+        for (auto &node : pool)
             node.manager->run(slice);
         clock += slice;
         harvestFinished();
 
         bool all_done = next_arrival == job_list.size() &&
                         queue.empty();
-        for (const auto &node : nodes)
-            all_done &= node.placed.empty();
+        for (const auto &hosted : placed)
+            all_done &= hosted.empty();
         if (all_done)
             return;
     }
@@ -222,12 +231,18 @@ ClusterScheduler::p95CompletionSeconds() const
 Watts
 ClusterScheduler::averageClusterPower() const
 {
-    Joules total = 0.0;
-    for (const auto &node : nodes)
-        total += node.server->meter().totalEnergy();
     if (clock == 0)
         return 0.0;
-    return total / toSeconds(clock);
+    return pool.totalEnergy() / toSeconds(clock);
+}
+
+core::Telemetry
+ClusterScheduler::aggregateTelemetry() const
+{
+    core::Telemetry cluster;
+    cluster.merge(tel);
+    cluster.merge(pool.aggregateTelemetry());
+    return cluster;
 }
 
 } // namespace psm::cluster

@@ -28,6 +28,8 @@
 #include <vector>
 
 #include "core/manager.hh"
+#include "core/telemetry.hh"
+#include "node_pool.hh"
 #include "perf/app_profile.hh"
 #include "util/random.hh"
 #include "util/units.hh"
@@ -113,18 +115,23 @@ class ClusterScheduler
     Watts averageClusterPower() const;
     Tick now() const { return clock; }
 
+    /**
+     * Cluster-scope telemetry: every node's control-plane bus plus
+     * the scheduler's own placement counters, folded into one.
+     */
+    core::Telemetry aggregateTelemetry() const;
+
   private:
     SchedulerConfig cfg;
     Rng rng;
     Tick clock = 0;
 
-    struct Node
-    {
-        std::unique_ptr<sim::Server> server;
-        std::unique_ptr<core::ServerManager> manager;
-        std::vector<std::pair<std::size_t, int>> placed; ///< job, app id
-    };
-    std::vector<Node> nodes;
+    /** The shared server substrate (one manager per node). */
+    NodePool pool;
+    /** Scheduler-level counters (placements, retargets, queueing). */
+    core::Telemetry tel;
+    /** Per node: jobs it is hosting, as (job index, app id). */
+    std::vector<std::vector<std::pair<std::size_t, int>>> placed;
     std::vector<Job> job_list;
     std::vector<std::size_t> queue; ///< waiting job indices, FIFO
 

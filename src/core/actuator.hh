@@ -1,0 +1,103 @@
+/**
+ * @file
+ * The Actuator: the enforcement layer of the control plane.
+ *
+ * It turns a PlanDecision into per-application Directives — direct
+ * knob actuation, demand-following RAPL, or the baseline's blind
+ * RAPL accounting — and hands them to the Coordinator, recording the
+ * granted budgets with the Accountant so E4 drift detection has its
+ * reference.  It owns the only piece of cross-decision enforcement
+ * state: the per-application DRAM demand tracker that survives
+ * duty-cycle OFF periods.
+ */
+
+#ifndef PSM_CORE_ACTUATOR_HH
+#define PSM_CORE_ACTUATOR_HH
+
+#include <map>
+#include <vector>
+
+#include "accountant.hh"
+#include "coordinator.hh"
+#include "plan_selector.hh"
+#include "sim/server.hh"
+#include "telemetry.hh"
+#include "util/units.hh"
+
+namespace psm::core
+{
+
+/**
+ * Per-server actuator.  Server, coordinator and accountant must
+ * outlive it.
+ */
+class Actuator
+{
+  public:
+    Actuator(sim::Server &server, Coordinator &coordinator,
+             Accountant &accountant, Telemetry *telemetry = nullptr);
+
+    /**
+     * Hold still-calibrating applications at the platform's minimal
+     * setting with a reserved power floor (and keep them running so
+     * profiling can observe them).
+     */
+    void holdForCalibration(const std::vector<int> &ids);
+
+    /**
+     * Execute a plan decision.
+     *
+     * @param d The selector's verdict.
+     * @param all All active app ids (used by plans that cover
+     *        calibrating apps too, e.g. the uncapped run).
+     * @param ready Calibrated app ids, aligned with the curve order
+     *        the selector saw.
+     * @param policy The deciding policy (selects enforcement style).
+     */
+    void execute(const PlanDecision &d, const std::vector<int> &all,
+                 const std::vector<int> &ready, PolicyKind policy);
+
+    /** Latest spatial allocation (empty before the first one). */
+    const Allocation &lastAllocation() const { return last_alloc; }
+
+    /** Drop a departed application's enforcement state. */
+    void forget(int id);
+
+  private:
+    sim::Server &srv;
+    Coordinator &coord;
+    Accountant &acct;
+    Telemetry *tel;
+
+    Allocation last_alloc;
+
+    /** Per-app DRAM demand tracker for demand-following RAPL. */
+    std::map<int, Watts> dram_demand;
+
+    Watts dramDemandEstimate(int id);
+    Directive raplDirective(int id, Watts app_budget);
+    Directive blindRaplDirective(int id, Watts app_budget);
+    static Directive directiveFor(int id, const AppAllocation &alloc);
+
+    void executeUncapped(const std::vector<int> &ids);
+    void executeSpatialUtility(const std::vector<int> &ids,
+                               const Allocation &alloc,
+                               PolicyKind policy);
+    void executeFairRaplSpace(const std::vector<int> &ids,
+                              Watts share);
+    void executeFairRaplTime(const std::vector<int> &ids, Watts budget,
+                             bool demand_following);
+    void executeServerAvg(const PlanDecision &d,
+                          const std::vector<int> &ids);
+    void executeTemporalUtility(const TemporalPlan &plan,
+                                const std::vector<int> &ids,
+                                PolicyKind policy);
+    void executeEsd(const EsdPlan &plan, const std::vector<int> &ids);
+
+    int idForApp(const std::vector<int> &ids,
+                 const std::string &name) const;
+};
+
+} // namespace psm::core
+
+#endif // PSM_CORE_ACTUATOR_HH

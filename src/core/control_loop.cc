@@ -1,0 +1,146 @@
+#include "control_loop.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace psm::core
+{
+
+ControlLoop::ControlLoop(sim::Server &server, Coordinator &coordinator,
+                         ControlLoopConfig config, Delegate &delegate,
+                         Telemetry *telemetry)
+    : srv(server), coord(coordinator), cfg(config), delegate(delegate),
+      acct(cfg.accountant), tel(telemetry)
+{
+    if (cfg.controlPeriod == 0)
+        fatal("controlPeriod must be positive");
+}
+
+void
+ControlLoop::maybePoll()
+{
+    if (srv.now() < next_control)
+        return;
+    poll();
+    next_control = srv.now() + cfg.controlPeriod;
+}
+
+bool
+ControlLoop::updateCapTrim()
+{
+    // Integral cap-adherence loop: trim the budget while the metered
+    // power over the last control interval rides above the cap, relax
+    // slowly when back under.  The meter's energy delta is the honest
+    // signal (RAPL window averages carry ghosts across duty-cycle
+    // transitions).  Trim grows only in the steadily-drawing modes
+    // (Space/Time) — in EsdAssisted mode the battery bridges over-cap
+    // draw by design — and is bounded so it can never idle the server
+    // outright.
+    Watts cap = srv.cap();
+    bool steady = coord.mode() == CoordinationMode::Space ||
+                  coord.mode() == CoordinationMode::Time;
+    Joules energy = srv.meter().totalEnergy();
+    Tick meter_now = srv.now();
+    bool changed = false;
+    if (cap > 0.0 && meter_now > last_meter_time) {
+        Watts interval_avg = (energy - last_meter_energy) /
+                             toSeconds(meter_now - last_meter_time);
+        Watts setpoint = cap - 0.5;
+        Watts before = cap_trim;
+        if (steady && interval_avg > setpoint) {
+            cap_trim += cfg.trimGain * (interval_avg - setpoint);
+        } else if (interval_avg < setpoint) {
+            // Headroom: hand it back.  In Time mode the OFF slots
+            // legitimately sit far below the cap, so only decay
+            // there; in Space mode run the full symmetric loop.
+            if (coord.mode() == CoordinationMode::Space) {
+                cap_trim -= cfg.trimGain *
+                            std::min(setpoint - interval_avg, 2.0);
+            } else {
+                cap_trim *= 0.95;
+            }
+        }
+        Watts raw_budget = std::max(
+            cap - srv.platform().idlePower - srv.platform().cmPower,
+            0.0);
+        cap_trim = std::clamp(cap_trim, -0.3 * raw_budget,
+                              0.6 * raw_budget);
+        if (std::abs(cap_trim - before) > 0.25)
+            changed = true;
+    }
+    last_meter_energy = energy;
+    last_meter_time = meter_now;
+    return changed;
+}
+
+void
+ControlLoop::poll()
+{
+    if (tel)
+        tel->count("control.polls");
+    bool need_realloc = false;
+    std::string trigger;
+
+    if (updateCapTrim()) {
+        need_realloc = true;
+        trigger = "cap-trim";
+        if (tel)
+            tel->count("control.trim_replans");
+    }
+
+    // Steady-state refresh: re-derive RAPL limits and re-apply the
+    // plan periodically so demand-following enforcement tracks the
+    // applications (temporal refreshes update slots in place).  Idle
+    // mode also retries here, in case a transient drove the trim up.
+    bool steady = coord.mode() == CoordinationMode::Space ||
+                  coord.mode() == CoordinationMode::Time;
+    if (srv.now() >= next_refresh &&
+        (steady || coord.mode() == CoordinationMode::Idle)) {
+        if (!need_realloc)
+            trigger = "refresh";
+        need_realloc = true;
+        next_refresh = srv.now() + cfg.refreshPeriod;
+    }
+
+    if (delegate.onCalibrationsDue()) {
+        need_realloc = true;
+        trigger = "calibration-done";
+    }
+
+    for (const AccountantEvent &ev : acct.poll(srv)) {
+        event_log.push_back(ev);
+        if (tel)
+            tel->count("event." + eventKindName(ev.kind));
+        switch (ev.kind) {
+          case EventKind::CapChange:
+            srv.setCap(ev.newCap);
+            need_realloc = true;
+            trigger = eventKindName(ev.kind);
+            break;
+          case EventKind::Arrival:
+            need_realloc = true;
+            trigger = eventKindName(ev.kind);
+            break;
+          case EventKind::Departure:
+            delegate.onDeparture(ev);
+            acct.forget(ev.appId);
+            srv.remove(ev.appId);
+            need_realloc = true;
+            trigger = eventKindName(ev.kind);
+            break;
+          case EventKind::Drift:
+            if (delegate.onDrift(ev.appId)) {
+                need_realloc = true;
+                trigger = eventKindName(ev.kind);
+            }
+            break;
+        }
+    }
+
+    if (need_realloc)
+        delegate.reallocate(trigger);
+}
+
+} // namespace psm::core

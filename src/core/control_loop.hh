@@ -1,0 +1,106 @@
+/**
+ * @file
+ * The ControlLoop: the reactive layer of the control plane.
+ *
+ * It owns the Accountant and the periodic poll that reacts to the
+ * four events of Section III-C (E1 cap change, E2 arrival, E3
+ * departure, E4 drift), plus the two steady-state feedback paths that
+ * need no event at all: the integral cap-adherence trim and the
+ * periodic plan refresh.  Whenever any of those demand a new plan it
+ * calls back into its Delegate (the ServerManager), which re-runs
+ * learning -> selection -> actuation.
+ */
+
+#ifndef PSM_CORE_CONTROL_LOOP_HH
+#define PSM_CORE_CONTROL_LOOP_HH
+
+#include <string>
+#include <vector>
+
+#include "accountant.hh"
+#include "coordinator.hh"
+#include "sim/server.hh"
+#include "telemetry.hh"
+#include "util/units.hh"
+
+namespace psm::core
+{
+
+/** Tuning of the reactive layer. */
+struct ControlLoopConfig
+{
+    /** Accountant poll / decision period. */
+    Tick controlPeriod = toTicks(0.1);
+    /** Gain of the integral cap-adherence trim loop. */
+    double trimGain = 0.5;
+    /** Spatial-mode steady-state refresh period (RAPL limit and trim
+     * updates without a triggering event). */
+    Tick refreshPeriod = toTicks(0.5);
+    AccountantConfig accountant;
+};
+
+/**
+ * Per-server reactive loop.  The server, coordinator and delegate
+ * must outlive it.
+ */
+class ControlLoop
+{
+  public:
+    /** The layer above: reacts to events and replans. */
+    struct Delegate
+    {
+        virtual ~Delegate() = default;
+        /** E3: bookkeep the departed app (the server entry is still
+         * alive here; the loop removes it afterwards). */
+        virtual void onDeparture(const AccountantEvent &ev) = 0;
+        /** E4: restart calibration if the policy wants it.
+         * @return Whether a re-allocation is needed. */
+        virtual bool onDrift(int app_id) = 0;
+        /** Deliver due calibrations.
+         * @return Whether any finished (-> re-allocate). */
+        virtual bool onCalibrationsDue() = 0;
+        /** Re-run selection + actuation under the current trim. */
+        virtual void reallocate(const std::string &trigger) = 0;
+    };
+
+    ControlLoop(sim::Server &server, Coordinator &coordinator,
+                ControlLoopConfig config, Delegate &delegate,
+                Telemetry *telemetry = nullptr);
+
+    Accountant &accountant() { return acct; }
+
+    /** Current integral cap-adherence correction (subtracted from the
+     * dynamic budget by the layer above). */
+    Watts capTrim() const { return cap_trim; }
+
+    /** Events seen so far, in order. */
+    const std::vector<AccountantEvent> &eventLog() const
+    {
+        return event_log;
+    }
+
+    /** Poll if a control period has elapsed (call once per step). */
+    void maybePoll();
+
+  private:
+    sim::Server &srv;
+    Coordinator &coord;
+    ControlLoopConfig cfg;
+    Delegate &delegate;
+    Accountant acct;
+    Telemetry *tel;
+
+    Tick next_control = 0;
+    Tick next_refresh = 0;
+    Watts cap_trim = 0.0; ///< integral cap-adherence correction
+    Joules last_meter_energy = 0.0;
+    Tick last_meter_time = 0;
+    std::vector<AccountantEvent> event_log;
+
+    void poll();
+    bool updateCapTrim();
+};
+
+} // namespace psm::core
+
+#endif // PSM_CORE_CONTROL_LOOP_HH

@@ -64,9 +64,17 @@ Coordinator::suspendAll(sim::Server &server)
 }
 
 void
+Coordinator::enterMode(CoordinationMode mode)
+{
+    if (tel && mode != current_mode)
+        tel->count("coordinator.enter." + coordinationModeName(mode));
+    current_mode = mode;
+}
+
+void
 Coordinator::idle(sim::Server &server)
 {
-    current_mode = CoordinationMode::Idle;
+    enterMode(CoordinationMode::Idle);
     suspendAll(server);
     server.setEsdChargeEnabled(false);
 }
@@ -75,7 +83,13 @@ void
 Coordinator::coordinateSpace(sim::Server &server,
                              const std::vector<Directive> &directives)
 {
-    current_mode = CoordinationMode::Space;
+    if (directives.empty()) {
+        if (tel)
+            tel->count("coordinator.empty_plan");
+        idle(server);
+        return;
+    }
+    enterMode(CoordinationMode::Space);
     server.setEsdChargeEnabled(false);
     for (const Directive &d : directives)
         applyDirective(server, d, true);
@@ -87,13 +101,26 @@ Coordinator::coordinateTime(sim::Server &server,
                             std::vector<double> shares)
 {
     psm_assert(directives.size() == shares.size());
-    psm_assert(!directives.empty());
+    if (directives.empty()) {
+        if (tel)
+            tel->count("coordinator.empty_plan");
+        idle(server);
+        return;
+    }
     double total = 0.0;
     for (double s : shares) {
         psm_assert(s >= 0.0);
         total += s;
     }
-    psm_assert(std::abs(total - 1.0) < 1e-6);
+    psm_assert(total > 0.0);
+    if (std::abs(total - 1.0) > 1e-6) {
+        // Tolerate planners whose shares do not quite sum to one
+        // (floors, rounding): renormalize rather than die.
+        for (double &s : shares)
+            s /= total;
+        if (tel)
+            tel->count("coordinator.share_renormalized");
+    }
 
     // Re-planning over the same application set updates the
     // directives and shares in place without resetting the rotation,
@@ -105,7 +132,7 @@ Coordinator::coordinateTime(sim::Server &server,
             same_apps &= slots[i].appId == directives[i].appId;
     }
 
-    current_mode = CoordinationMode::Time;
+    enterMode(CoordinationMode::Time);
     server.setEsdChargeEnabled(false);
     slots = std::move(directives);
     slot_shares = std::move(shares);
@@ -127,11 +154,16 @@ Coordinator::coordinateEsd(sim::Server &server,
                            std::vector<Directive> directives,
                            double off_fraction)
 {
-    psm_assert(!directives.empty());
+    if (directives.empty()) {
+        if (tel)
+            tel->count("coordinator.empty_plan");
+        idle(server);
+        return;
+    }
     psm_assert(off_fraction >= 0.0 && off_fraction < 1.0);
     psm_assert(server.hasEsd());
 
-    current_mode = CoordinationMode::EsdAssisted;
+    enterMode(CoordinationMode::EsdAssisted);
     esd_directives = std::move(directives);
     esd_off_fraction = off_fraction;
     esd_phase_started = server.now();
@@ -186,6 +218,8 @@ Coordinator::advance(sim::Server &server)
             slot_started = now;
             slot_ix = (slot_ix + 1) % slots.size();
             applyDirective(server, slots[slot_ix], true);
+            if (tel)
+                tel->count("coordinator.slot_rotations");
             if (slotLength(slot_ix) > 0)
                 break;
         }
@@ -209,6 +243,8 @@ Coordinator::advance(sim::Server &server)
                 server.setEsdChargeEnabled(false);
                 for (const Directive &d : esd_directives)
                     applyDirective(server, d, true);
+                if (tel)
+                    tel->count("coordinator.esd_phase_flips");
             }
         } else {
             // Leave the ON phase when its time is up or the battery
@@ -219,6 +255,8 @@ Coordinator::advance(sim::Server &server)
                 esd_phase_started = now;
                 suspendAll(server);
                 server.setEsdChargeEnabled(true);
+                if (tel)
+                    tel->count("coordinator.esd_phase_flips");
             }
         }
         return;

@@ -29,6 +29,7 @@
 
 #include "power/platform.hh"
 #include "sim/server.hh"
+#include "telemetry.hh"
 #include "util/units.hh"
 
 namespace psm::core
@@ -74,16 +75,24 @@ class Coordinator
 
     CoordinationMode mode() const { return current_mode; }
 
+    /** Attach a telemetry bus (nullptr detaches). */
+    void setTelemetry(Telemetry *telemetry) { tel = telemetry; }
+
     /** Suspend everything (no feasible plan and no ESD). */
     void idle(sim::Server &server);
 
-    /** Everybody runs at once with their directives. */
+    /**
+     * Everybody runs at once with their directives.  An empty list
+     * degrades to idle().
+     */
     void coordinateSpace(sim::Server &server,
                          const std::vector<Directive> &directives);
 
     /**
      * Alternate duty cycling: slot i is ON for shares[i] of each duty
-     * period; shares must sum to ~1.
+     * period.  Shares must be non-negative with a positive sum; a sum
+     * away from 1 is renormalized (and counted on the telemetry bus).
+     * An empty directive list degrades to idle().
      */
     void coordinateTime(sim::Server &server,
                         std::vector<Directive> directives,
@@ -91,7 +100,7 @@ class Coordinator
 
     /**
      * Consolidated ESD duty cycling with the given OFF fraction of
-     * each period.
+     * each period.  An empty directive list degrades to idle().
      */
     void coordinateEsd(sim::Server &server,
                        std::vector<Directive> directives,
@@ -107,11 +116,16 @@ class Coordinator
     int activeSlot() const;
 
     /** True during the OFF (charging) phase of EsdAssisted mode. */
-    bool inChargePhase() const { return esd_charging; }
+    bool inChargePhase() const
+    {
+        return current_mode == CoordinationMode::EsdAssisted &&
+               esd_charging;
+    }
 
   private:
     CoordinatorConfig cfg;
     CoordinationMode current_mode = CoordinationMode::Idle;
+    Telemetry *tel = nullptr;
 
     // Time mode state.
     std::vector<Directive> slots;
@@ -129,6 +143,9 @@ class Coordinator
                         bool run);
     void suspendAll(sim::Server &server);
     Tick slotLength(std::size_t ix) const;
+
+    /** Switch modes, publishing the transition on the bus. */
+    void enterMode(CoordinationMode mode);
 };
 
 } // namespace psm::core

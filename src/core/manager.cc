@@ -1,7 +1,6 @@
 #include "manager.hh"
 
 #include <algorithm>
-#include <cmath>
 
 #include "util/logging.hh"
 
@@ -18,17 +17,39 @@ AppRecord::normalizedPerf(Tick now) const
     return (beats / elapsed) / uncappedRate;
 }
 
-ServerManager::ServerManager(sim::Server &server, ManagerConfig config)
-    : srv(server), cfg(std::move(config)), rng(cfg.seed),
-      profiler(server.platform(), cfg.measurementNoise),
-      sampler(server.platform(), cfg.sampling),
-      allocator(cfg.allocator), coord(cfg.coordinator),
-      accountant(cfg.accountant)
+LearningConfig
+ServerManager::learningConfig(const ManagerConfig &cfg)
 {
-    if (cfg.sampleFraction <= 0.0 || cfg.sampleFraction > 1.0)
-        fatal("sampleFraction must lie in (0, 1]");
-    if (cfg.controlPeriod == 0)
-        fatal("controlPeriod must be positive");
+    LearningConfig lc;
+    lc.sampleFraction = cfg.sampleFraction;
+    lc.oracleUtilities = cfg.oracleUtilities;
+    lc.measurementNoise = cfg.measurementNoise;
+    lc.calibrationPerSample = cfg.calibrationPerSample;
+    lc.als = cfg.als;
+    lc.sampling = cfg.sampling;
+    lc.seed = cfg.seed;
+    return lc;
+}
+
+ControlLoopConfig
+ServerManager::controlConfig(const ManagerConfig &cfg)
+{
+    ControlLoopConfig cc;
+    cc.controlPeriod = cfg.controlPeriod;
+    cc.trimGain = cfg.trimGain;
+    cc.refreshPeriod = cfg.refreshPeriod;
+    cc.accountant = cfg.accountant;
+    return cc;
+}
+
+ServerManager::ServerManager(sim::Server &server, ManagerConfig config)
+    : srv(server), cfg(std::move(config)), coord(cfg.coordinator),
+      pipeline(server, learningConfig(cfg), &tel),
+      selector(server.platform(), cfg.allocator, &tel),
+      control(server, coord, controlConfig(cfg), *this, &tel),
+      actuator(server, coord, control.accountant(), &tel)
+{
+    coord.setTelemetry(&tel);
     if (policyUsesEsd(cfg.policy) && !srv.hasEsd()) {
         warn("policy %s selected but the server has no ESD; it will "
              "fall back to temporal coordination",
@@ -39,647 +60,165 @@ ServerManager::ServerManager(sim::Server &server, ManagerConfig config)
 void
 ServerManager::seedCorpus(const std::vector<perf::AppProfile> &profiles)
 {
-    cf::Profiler exhaustive(srv.platform(), 0.0);
-    Rng corpus_rng(cfg.seed ^ 0xc0f5eULL);
-    for (const auto &p : profiles) {
-        bool duplicate = false;
-        for (const auto &e : corpus)
-            duplicate |= e.name == p.name;
-        if (duplicate)
-            continue;
-        perf::PerfModel model(srv.platform(), p);
-        CorpusEntry entry;
-        entry.name = p.name;
-        exhaustive.measureAll(model, entry.power, entry.hbRate,
-                              corpus_rng);
-        corpus.push_back(std::move(entry));
-    }
-    rebuildServerAverageCurve();
-}
-
-void
-ServerManager::rebuildServerAverageCurve()
-{
-    if (corpus.empty()) {
-        server_avg_curve.reset();
-        return;
-    }
-    std::vector<cf::UtilitySurface> surfaces;
-    surfaces.reserve(corpus.size());
-    for (const auto &e : corpus) {
-        surfaces.push_back(
-            cf::UtilityEstimator::surfaceFromRows(e.power, e.hbRate));
-    }
-    server_avg_curve.emplace("server-average", profiler.settings(),
-                             averageSurfaces(surfaces),
-                             KnobFreedom::All);
+    pipeline.seedCorpus(profiles);
 }
 
 int
 ServerManager::addApp(const perf::AppProfile &profile)
 {
-    for (const auto &[id, m] : managed) {
-        if (!m.record.done && m.record.name == profile.name) {
+    for (const auto &[id, r] : app_records) {
+        if (!r.done && r.name == profile.name) {
             fatal("an active application named '%s' already exists on "
                   "this server", profile.name.c_str());
         }
     }
 
     int id = srv.admit(profile);
-    ManagedApp m;
-    m.record.id = id;
-    m.record.name = profile.name;
-    m.record.admitted = srv.now();
-    m.record.uncappedRate = srv.app(id).perf().maxHbRate();
-    managed.emplace(id, std::move(m));
+    AppRecord r;
+    r.id = id;
+    r.name = profile.name;
+    r.admitted = srv.now();
+    r.uncappedRate = srv.app(id).perf().maxHbRate();
+    app_records.emplace(id, std::move(r));
 
-    accountant.notifyArrival(id);
-    if (policyAppAware(cfg.policy))
-        startCalibration(id);
+    pipeline.track(id, profile.name);
+    control.accountant().notifyArrival(id);
+    if (policyAppAware(cfg.policy)) {
+        if (pipeline.startCalibration(id))
+            last_realloc_latency = cfg.controlPeriod;
+    }
     return id;
-}
-
-void
-ServerManager::startCalibration(int id)
-{
-    auto it = managed.find(id);
-    psm_assert(it != managed.end());
-    ManagedApp &m = it->second;
-    m.calibration_started = srv.now();
-
-    if (cfg.oracleUtilities) {
-        // Oracle: exhaustive, instantaneous, noiseless re-profiling
-        // at the application's current phase.
-        sim::Application &app = srv.app(id);
-        const sim::Phase &phase = app.currentPhase();
-        cf::Profiler exhaustive(srv.platform(), 0.0);
-        Rng oracle_rng(cfg.seed ^ 0x04ac1eULL);
-        std::vector<double> power_row;
-        std::vector<double> hb_row;
-        // measureAll lacks phase scaling; measure per column instead.
-        std::size_t n = exhaustive.columnCount();
-        power_row.resize(n);
-        hb_row.resize(n);
-        for (std::size_t c = 0; c < n; ++c) {
-            cf::Measurement s = exhaustive.measureOne(
-                app.perf(), c, oracle_rng, phase.cpuScale,
-                phase.memScale);
-            power_row[c] = s.power;
-            hb_row[c] = s.hbRate;
-        }
-        m.surface = cf::UtilityEstimator::surfaceFromRows(power_row,
-                                                          hb_row);
-        m.calibration_ready = maxTick;
-        last_realloc_latency = cfg.controlPeriod;
-        return;
-    }
-
-    // Online sparse sampling: choose the settings now, charge the
-    // measurement wall-clock, deliver the surface when it elapses.
-    m.surface.reset();
-    m.pending_cols = sampler.select(cfg.sampleFraction, rng);
-    m.calibration_ready =
-        srv.now() + static_cast<Tick>(m.pending_cols.size()) *
-                        cfg.calibrationPerSample;
-    // The application runs conservatively while being profiled.
-    srv.app(id).setKnobs(srv.platform().minSetting());
-}
-
-void
-ServerManager::finishCalibration(int id)
-{
-    auto it = managed.find(id);
-    psm_assert(it != managed.end());
-    ManagedApp &m = it->second;
-    psm_assert(!m.pending_cols.empty());
-
-    sim::Application &app = srv.app(id);
-    const sim::Phase &phase = app.currentPhase();
-    auto samples = profiler.measure(app.perf(), m.pending_cols, rng,
-                                    phase.cpuScale, phase.memScale);
-
-    // Leave-one-out corpus: never let an application predict itself.
-    cf::UtilityEstimator estimator(srv.platform(), cfg.als);
-    for (const auto &e : corpus) {
-        if (e.name != m.record.name)
-            estimator.addCorpusApp(e.name, e.power, e.hbRate);
-    }
-    m.surface = estimator.estimate(samples);
-    m.calibration_ready = maxTick;
-    m.pending_cols.clear();
-    last_realloc_latency = srv.now() - m.calibration_started +
-                           cfg.controlPeriod;
 }
 
 void
 ServerManager::setCap(Watts cap)
 {
-    accountant.notifyCapChange(cap);
+    control.accountant().notifyCapChange(cap);
 }
 
 std::vector<int>
-ServerManager::managedActiveIds() const
+ServerManager::activeIds() const
 {
     std::vector<int> ids;
-    for (const auto &[id, m] : managed) {
-        if (!m.record.done && srv.hasApp(id) &&
-            !srv.app(id).finished()) {
+    for (const auto &[id, r] : app_records) {
+        if (!r.done && srv.hasApp(id) && !srv.app(id).finished())
             ids.push_back(id);
-        }
     }
     return ids;
 }
 
-UtilityCurve
-ServerManager::buildCurve(int id, KnobFreedom freedom) const
+void
+ServerManager::onDeparture(const AccountantEvent &ev)
 {
-    auto it = managed.find(id);
-    psm_assert(it != managed.end());
-    psm_assert(it->second.surface.has_value());
-    return UtilityCurve(it->second.record.name, profiler.settings(),
-                        *it->second.surface, freedom,
-                        &srv.platform());
+    auto it = app_records.find(ev.appId);
+    psm_assert(it != app_records.end());
+    AppRecord &r = it->second;
+    r.done = true;
+    r.finishedAt = ev.when;
+    r.beats = srv.app(ev.appId).heartbeats().total();
+    pipeline.forget(ev.appId);
+    actuator.forget(ev.appId);
 }
 
-Directive
-ServerManager::directiveFor(int id, const AppAllocation &alloc) const
+bool
+ServerManager::onDrift(int app_id)
 {
-    Directive d;
-    d.appId = id;
-    psm_assert(alloc.point.has_value());
-    d.knobs = alloc.point->setting;
-    return d;
+    if (!policyAppAware(cfg.policy))
+        return false;
+    if (pipeline.startCalibration(app_id))
+        last_realloc_latency = cfg.controlPeriod;
+    return true;
+}
+
+bool
+ServerManager::onCalibrationsDue()
+{
+    std::vector<int> finished = pipeline.finishDueCalibrations();
+    if (finished.empty())
+        return false;
+    last_realloc_latency =
+        pipeline.lastCalibrationLatency() + cfg.controlPeriod;
+    return true;
 }
 
 void
-ServerManager::applySpatialUtilityPlan(const std::vector<int> &ids,
-                                       const Allocation &alloc)
-{
-    psm_assert(ids.size() == alloc.apps.size());
-    // App-Aware uses utilities only to *split* the budget; within an
-    // application it enforces the grant with the default hardware
-    // knob (RAPL), not per-resource apportioning.
-    bool rapl_enforced = cfg.policy == PolicyKind::AppAware;
-    std::vector<Directive> directives;
-    for (std::size_t i = 0; i < ids.size(); ++i) {
-        psm_assert(alloc.apps[i].scheduled());
-        if (rapl_enforced) {
-            directives.push_back(blindRaplDirective(
-                ids[i], alloc.apps[i].point->power));
-        } else {
-            directives.push_back(directiveFor(ids[i], alloc.apps[i]));
-        }
-        accountant.setAllocatedPower(ids[i],
-                                     alloc.apps[i].point->power);
-    }
-    coord.coordinateSpace(srv, directives);
-    last_alloc = alloc;
-}
-
-void
-ServerManager::applyTemporalUtilityPlan(
-    const std::vector<int> &ids,
-    const std::vector<const UtilityCurve *> &curves, Watts budget)
-{
-    TemporalPlan plan = allocator.temporalPlan(curves, budget,
-                                               ShareMode::UtilityWeighted);
-    if (plan.slots.empty()) {
-        // Even the cheapest learnt operating point exceeds the ON
-        // budget; fall back to the hardware floor: RAPL-throttled
-        // fair alternation (the same last resort the baseline has).
-        // Below the hardware floor no one can run within the cap.
-        if (budget >= minFeasibleAppPower(srv.platform())) {
-            std::vector<Directive> directives;
-            std::vector<double> shares;
-            for (int id : ids) {
-                directives.push_back(raplDirective(id, budget));
-                shares.push_back(1.0 /
-                                 static_cast<double>(ids.size()));
-                accountant.setAllocatedPower(id, 0.0);
-            }
-            coord.coordinateTime(srv, std::move(directives),
-                                 std::move(shares));
-        } else {
-            coord.idle(srv);
-        }
-        return;
-    }
-
-    // Suspend applications that cannot run even alone at this cap.
-    auto id_of = [&](const std::string &name) {
-        for (std::size_t i = 0; i < curves.size(); ++i)
-            if (curves[i]->name() == name)
-                return ids[i];
-        panic("temporal plan names unknown app '%s'", name.c_str());
-    };
-    for (const auto &name : plan.unschedulable)
-        srv.app(id_of(name)).suspend(srv.now());
-
-    bool rapl_enforced = cfg.policy == PolicyKind::AppAware;
-    std::vector<Directive> directives;
-    std::vector<double> shares;
-    for (const auto &slot : plan.slots) {
-        int id = id_of(slot.app);
-        if (rapl_enforced) {
-            directives.push_back(
-                blindRaplDirective(id, slot.point.power));
-        } else {
-            Directive d;
-            d.appId = id;
-            d.knobs = slot.point.setting;
-            directives.push_back(d);
-        }
-        shares.push_back(slot.share);
-        accountant.setAllocatedPower(id, 0.0);
-    }
-    coord.coordinateTime(srv, std::move(directives), std::move(shares));
-}
-
-Watts
-ServerManager::dramDemandEstimate(int id)
-{
-    // Remember each application's DRAM appetite across duty-cycle OFF
-    // periods (the instantaneous RAPL window forgets in ~10 ms): grow
-    // immediately when more draw is observed, decay slowly otherwise.
-    Watts obs = srv.observedAppDramPower(id);
-    auto [it, inserted] = dram_demand.try_emplace(
-        id, srv.platform().dramPowerMin);
-    if (obs > it->second)
-        it->second = obs;
-    else if (obs > 0.5)
-        it->second = std::max(it->second * 0.99, obs);
-    return it->second;
-}
-
-Directive
-ServerManager::raplDirective(int id, Watts app_budget)
-{
-    const power::PlatformConfig &plat = srv.platform();
-    Directive d;
-    d.appId = id;
-    d.useRapl = true;
-
-    // Split the app budget between the DRAM and package domains the
-    // way a demand-following RAPL controller would: give DRAM its
-    // tracked demand plus ratchet headroom (so a throttled channel can
-    // reveal more appetite), the rest to the package.
-    Watts demand = dramDemandEstimate(id);
-    Watts dram_limit =
-        std::clamp(demand * 1.25 + 0.25, plat.dramPowerMin,
-                   std::min(plat.dramPowerMax,
-                            std::max(app_budget - 0.5,
-                                     plat.dramPowerMin)));
-    d.knobs = plat.maxSetting();
-    d.knobs.dramPower = dram_limit;
-    // The package gets the budget minus the *expected* DRAM draw
-    // (the limit only carries ratchet headroom above it).
-    Watts expected_dram = std::min(demand, dram_limit);
-    d.packageLimit = std::max(app_budget - expected_dram, 0.5);
-    return d;
-}
-
-Directive
-ServerManager::blindRaplDirective(int id, Watts app_budget)
-{
-    // The utility-unaware baseline's enforcement: leave the DRAM
-    // domain at its default limit unless the budget is so small that
-    // even a fully-drawn channel would blow it, and cap the package
-    // at budget minus the *measured* DRAM draw — pure accounting, no
-    // notion of where a watt is worth more.
-    const power::PlatformConfig &plat = srv.platform();
-    Directive d;
-    d.appId = id;
-    d.useRapl = true;
-    d.knobs = plat.maxSetting();
-    d.knobs.dramPower = std::clamp(app_budget - 1.5,
-                                   plat.dramPowerMin,
-                                   plat.dramPowerMax);
-    Watts dram_obs = std::max(srv.observedAppDramPower(id),
-                              plat.dramPowerMin);
-    d.packageLimit = std::max(app_budget - dram_obs, 0.5);
-    return d;
-}
-
-void
-ServerManager::applyUtilUnaware(const std::vector<int> &ids,
-                                Watts budget)
-{
-    Watts floor_power = minFeasibleAppPower(srv.platform());
-    Watts share = budget / static_cast<double>(ids.size());
-
-    if (share >= floor_power) {
-        std::vector<Directive> directives;
-        for (int id : ids) {
-            directives.push_back(blindRaplDirective(id, share));
-            accountant.setAllocatedPower(id, share);
-        }
-        coord.coordinateSpace(srv, directives);
-    } else if (budget >= floor_power) {
-        // Fair alternate duty cycling; the ON app gets the whole
-        // budget, enforced by RAPL throttling.
-        std::vector<Directive> directives;
-        std::vector<double> shares;
-        for (int id : ids) {
-            directives.push_back(blindRaplDirective(id, budget));
-            shares.push_back(1.0 / static_cast<double>(ids.size()));
-            accountant.setAllocatedPower(id, 0.0);
-        }
-        coord.coordinateTime(srv, std::move(directives),
-                             std::move(shares));
-    } else {
-        coord.idle(srv);
-    }
-}
-
-void
-ServerManager::applyServerResAware(const std::vector<int> &ids,
-                                   Watts budget)
-{
-    if (!server_avg_curve) {
-        fatal("Server+Res-Aware requires a seeded corpus for the "
-              "server-level average utilities");
-    }
-    const UtilityCurve &avg = *server_avg_curve;
-    Watts share = budget / static_cast<double>(ids.size());
-
-    auto spatial_point = avg.bestWithin(share);
-    if (spatial_point) {
-        // Knobs from the server-average utilities, but the equal
-        // share is enforced strictly with a package RAPL backstop —
-        // this policy has no per-application knowledge to justify
-        // letting one app spend another's unused share.
-        std::vector<Directive> directives;
-        for (int id : ids) {
-            Directive d;
-            d.appId = id;
-            d.useRapl = true;
-            d.knobs = spatial_point->setting;
-            d.packageLimit = std::max(
-                share - spatial_point->setting.dramPower, 0.5);
-            directives.push_back(d);
-            accountant.setAllocatedPower(id, share);
-        }
-        coord.coordinateSpace(srv, directives);
-        return;
-    }
-
-    auto on_point = avg.bestWithin(budget);
-    if (!on_point) {
-        coord.idle(srv);
-        return;
-    }
-    std::vector<Directive> directives;
-    std::vector<double> shares;
-    for (int id : ids) {
-        Directive d;
-        d.appId = id;
-        d.knobs = on_point->setting;
-        directives.push_back(d);
-        shares.push_back(1.0 / static_cast<double>(ids.size()));
-        accountant.setAllocatedPower(id, 0.0);
-    }
-    coord.coordinateTime(srv, std::move(directives), std::move(shares));
-}
-
-void
-ServerManager::reallocate()
+ServerManager::reallocate(const std::string &trigger)
 {
     ++realloc_count;
     const power::PlatformConfig &plat = srv.platform();
-    std::vector<int> ids = managedActiveIds();
-    if (ids.empty()) {
-        coord.idle(srv);
-        accountant.setDriftDetection(false);
-        return;
-    }
-
+    std::vector<int> ids = activeIds();
     Watts cap = srv.cap();
-    if (cap <= 0.0) {
-        // Uncapped: everyone flat out.
-        std::vector<Directive> directives;
-        for (int id : ids) {
-            Directive d;
-            d.appId = id;
-            d.knobs = plat.maxSetting();
-            directives.push_back(d);
-            accountant.setAllocatedPower(id, 0.0);
-        }
-        coord.coordinateSpace(srv, directives);
-        accountant.setDriftDetection(false);
-        return;
-    }
 
-    Watts budget = std::max(cap - plat.idlePower - plat.cmPower, 0.0);
-    // Withhold the guard band and the adherence trim so estimation
-    // error does not become cap overshoot.
-    budget = std::max(budget * (1.0 - cfg.budgetGuard) - cap_trim,
-                      0.0);
-
-    if (!policyAppAware(cfg.policy)) {
-        if (cfg.policy == PolicyKind::UtilUnaware)
-            applyUtilUnaware(ids, budget);
-        else
-            applyServerResAware(ids, budget);
-        accountant.setDriftDetection(false);
-        return;
-    }
-
-    // Utility-aware policies: split calibrated from still-calibrating
+    // Utility-aware policies split calibrated from still-calibrating
     // applications; the latter run at the minimal setting with a
-    // reserved power floor.
+    // reserved power floor.  The other policies never calibrate.
     std::vector<int> ready;
     std::vector<int> calibrating;
-    for (int id : ids) {
-        const ManagedApp &m = managed.at(id);
-        if (m.surface)
-            ready.push_back(id);
-        else
-            calibrating.push_back(id);
-    }
-    Watts reserved = static_cast<double>(calibrating.size()) *
-                     minFeasibleAppPower(plat);
-    Watts usable = std::max(budget - reserved, 0.0);
-
-    for (int id : calibrating) {
-        sim::Application &app = srv.app(id);
-        app.setKnobs(plat.minSetting());
-        app.resume(srv.now());
-        accountant.setAllocatedPower(id, 0.0);
+    if (policyAppAware(cfg.policy)) {
+        for (int id : ids) {
+            if (pipeline.calibrated(id))
+                ready.push_back(id);
+            else
+                calibrating.push_back(id);
+        }
+    } else {
+        ready = ids;
     }
 
-    if (ready.empty()) {
-        accountant.setDriftDetection(false);
-        return;
+    PlanInputs in;
+    in.policy = cfg.policy;
+    in.cap = cap;
+    in.appCount = ids.size();
+    in.calibratingCount = calibrating.size();
+    in.hasEsd = srv.hasEsd();
+    if (srv.hasEsd())
+        in.esd = &srv.esdConfig();
+    if (pipeline.serverAverageCurve())
+        in.serverAverage = &*pipeline.serverAverageCurve();
+
+    if (cap > 0.0) {
+        // Withhold the guard band and the adherence trim so estimation
+        // error does not become cap overshoot.
+        Watts budget =
+            std::max(cap - plat.idlePower - plat.cmPower, 0.0);
+        in.budget = std::max(
+            budget * (1.0 - cfg.budgetGuard) - control.capTrim(), 0.0);
     }
 
     // App-Aware sees the application's power-performance response
     // under its own (RAPL, frequency-only) enforcement — including
     // the clock-modulation region below f_min — while the
     // resource-aware policies search the full (f, n, m) frontier.
-    KnobFreedom freedom = policyResAware(cfg.policy)
-                              ? KnobFreedom::All
-                              : KnobFreedom::FrequencyOnly;
     std::vector<UtilityCurve> curves;
-    curves.reserve(ready.size());
-    for (int id : ready)
-        curves.push_back(buildCurve(id, freedom));
-    std::vector<const UtilityCurve *> curve_ptrs;
-    for (const auto &c : curves)
-        curve_ptrs.push_back(&c);
-
-    // App-Aware's RAPL enforcement can clock-modulate below any
-    // frontier point, so its curve minima are not hard minima and are
-    // not reserved; infeasible splits fall back to the fair RAPL
-    // split below.
-    AllocatorConfig alloc_cfg = cfg.allocator;
-    alloc_cfg.reserveMinima = policyResAware(cfg.policy);
-    PowerAllocator policy_allocator(alloc_cfg);
-    Allocation alloc = policy_allocator.allocate(curve_ptrs, usable);
-    if (alloc.allScheduled()) {
-        applySpatialUtilityPlan(ready, alloc);
-        accountant.setDriftDetection(!cfg.oracleUtilities ||
-                                     true); // E4 active in Space mode
-        return;
+    if (policyAppAware(cfg.policy) && cap > 0.0 && !ids.empty()) {
+        KnobFreedom freedom = policyResAware(cfg.policy)
+                                  ? KnobFreedom::All
+                                  : KnobFreedom::FrequencyOnly;
+        curves.reserve(ready.size());
+        for (int id : ready)
+            curves.push_back(pipeline.utilityFor(id, freedom));
+        for (const auto &c : curves)
+            in.curves.push_back(&c);
+        actuator.holdForCalibration(calibrating);
     }
 
-    // App-Aware's frequency-only utility view bottoms out at f_min,
-    // but its RAPL enforcement can clock-modulate below it: when the
-    // curves claim spatial infeasibility yet an equal share clears
-    // the hardware floor, fall back to the fair RAPL split rather
-    // than duty-cycling.
-    if (cfg.policy == PolicyKind::AppAware && calibrating.empty() &&
-        usable / static_cast<double>(ready.size()) >=
-            minFeasibleAppPower(plat)) {
-        applyUtilUnaware(ready, usable);
-        accountant.setDriftDetection(false);
-        return;
-    }
+    Tick started = srv.now();
+    PlanDecision d = selector.select(in);
+    actuator.execute(d, ids, ready, cfg.policy);
 
-    if (policyUsesEsd(cfg.policy) && srv.hasEsd() &&
-        calibrating.empty()) {
-        EsdPlan plan = allocator.esdPlan(
-            curve_ptrs, plat.idlePower, plat.cmPower, cap,
-            srv.battery()->config());
-        if (plan.viable) {
-            std::vector<Directive> directives;
-            for (std::size_t i = 0; i < ready.size(); ++i) {
-                psm_assert(plan.onAllocation.apps[i].scheduled());
-                directives.push_back(directiveFor(
-                    ready[i], plan.onAllocation.apps[i]));
-                accountant.setAllocatedPower(ready[i], 0.0);
-            }
-            coord.coordinateEsd(srv, std::move(directives),
-                                plan.offFraction);
-            last_alloc = plan.onAllocation;
-            accountant.setDriftDetection(false);
-            return;
-        }
-    }
-
-    applyTemporalUtilityPlan(ready, curve_ptrs, usable);
-    accountant.setDriftDetection(false);
-}
-
-void
-ServerManager::handleControl()
-{
-    bool need_realloc = false;
-
-    // Integral cap-adherence loop: trim the budget while the metered
-    // power over the last control interval rides above the cap, relax
-    // slowly when back under.  The meter's energy delta is the honest
-    // signal (RAPL window averages carry ghosts across duty-cycle
-    // transitions).  Trim grows only in the steadily-drawing modes
-    // (Space/Time) — in EsdAssisted mode the battery bridges over-cap
-    // draw by design — and is bounded so it can never idle the server
-    // outright.
-    Watts cap = srv.cap();
-    bool steady = coord.mode() == CoordinationMode::Space ||
-                  coord.mode() == CoordinationMode::Time;
-    Joules energy = srv.meter().totalEnergy();
-    Tick meter_now = srv.now();
-    if (cap > 0.0 && meter_now > last_meter_time) {
-        Watts interval_avg = (energy - last_meter_energy) /
-                             toSeconds(meter_now - last_meter_time);
-        Watts setpoint = cap - 0.5;
-        Watts before = cap_trim;
-        if (steady && interval_avg > setpoint) {
-            cap_trim += cfg.trimGain * (interval_avg - setpoint);
-        } else if (interval_avg < setpoint) {
-            // Headroom: hand it back.  In Time mode the OFF slots
-            // legitimately sit far below the cap, so only decay
-            // there; in Space mode run the full symmetric loop.
-            if (coord.mode() == CoordinationMode::Space) {
-                cap_trim -= cfg.trimGain *
-                            std::min(setpoint - interval_avg, 2.0);
-            } else {
-                cap_trim *= 0.95;
-            }
-        }
-        Watts raw_budget = std::max(
-            cap - srv.platform().idlePower - srv.platform().cmPower,
-            0.0);
-        cap_trim = std::clamp(cap_trim, -0.3 * raw_budget,
-                              0.6 * raw_budget);
-        if (std::abs(cap_trim - before) > 0.25)
-            need_realloc = true;
-    }
-    last_meter_energy = energy;
-    last_meter_time = meter_now;
-
-    // Steady-state refresh: re-derive RAPL limits and re-apply the
-    // plan periodically so demand-following enforcement tracks the
-    // applications (temporal refreshes update slots in place).  Idle
-    // mode also retries here, in case a transient drove the trim up.
-    if (srv.now() >= next_refresh &&
-        (steady || coord.mode() == CoordinationMode::Idle)) {
-        need_realloc = true;
-        next_refresh = srv.now() + cfg.refreshPeriod;
-    }
-
-    for (auto &[id, m] : managed) {
-        if (m.calibration_ready != maxTick &&
-            srv.now() >= m.calibration_ready && srv.hasApp(id) &&
-            !srv.app(id).finished()) {
-            finishCalibration(id);
-            need_realloc = true;
-        }
-    }
-
-    for (const AccountantEvent &ev : accountant.poll(srv)) {
-        event_log.push_back(ev);
-        switch (ev.kind) {
-          case EventKind::CapChange:
-            srv.setCap(ev.newCap);
-            need_realloc = true;
-            break;
-          case EventKind::Arrival:
-            need_realloc = true;
-            break;
-          case EventKind::Departure: {
-            auto it = managed.find(ev.appId);
-            psm_assert(it != managed.end());
-            ManagedApp &m = it->second;
-            m.record.done = true;
-            m.record.finishedAt = ev.when;
-            m.record.beats =
-                srv.app(ev.appId).heartbeats().total();
-            accountant.forget(ev.appId);
-            srv.remove(ev.appId);
-            need_realloc = true;
-            break;
-          }
-          case EventKind::Drift:
-            if (policyAppAware(cfg.policy)) {
-                startCalibration(ev.appId);
-                need_realloc = true;
-            }
-            break;
-        }
-    }
-
-    if (need_realloc)
-        reallocate();
+    DecisionRecord rec;
+    rec.when = srv.now();
+    rec.trigger = trigger;
+    rec.policy = policyName(cfg.policy);
+    rec.plan = planChoiceName(d.choice);
+    rec.mode = coordinationModeName(coord.mode());
+    rec.objective = d.objective;
+    rec.budget = in.budget;
+    rec.apps = ids.size();
+    rec.latency = last_realloc_latency;
+    tel.record(std::move(rec));
+    tel.observe("manager.reallocate", srv.now() - started);
+    tel.count("manager.reallocations");
 }
 
 void
@@ -687,10 +226,7 @@ ServerManager::run(Tick duration)
 {
     Tick end = srv.now() + duration;
     while (srv.now() < end) {
-        if (srv.now() >= next_control) {
-            handleControl();
-            next_control = srv.now() + cfg.controlPeriod;
-        }
+        control.maybePoll();
         coord.advance(srv);
         srv.step();
     }
@@ -709,9 +245,9 @@ ServerManager::runUntilAllDone(Tick max_duration)
 void
 ServerManager::syncRecords()
 {
-    for (auto &[id, m] : managed) {
-        if (!m.record.done && srv.hasApp(id))
-            m.record.beats = srv.app(id).heartbeats().total();
+    for (auto &[id, r] : app_records) {
+        if (!r.done && srv.hasApp(id))
+            r.beats = srv.app(id).heartbeats().total();
     }
 }
 
@@ -719,17 +255,17 @@ std::vector<AppRecord>
 ServerManager::records() const
 {
     std::vector<AppRecord> out;
-    out.reserve(managed.size());
-    for (const auto &[id, m] : managed)
-        out.push_back(m.record);
+    out.reserve(app_records.size());
+    for (const auto &[id, r] : app_records)
+        out.push_back(r);
     return out;
 }
 
 bool
 ServerManager::anyAppRunning() const
 {
-    for (const auto &[id, m] : managed)
-        if (!m.record.done)
+    for (const auto &[id, r] : app_records)
+        if (!r.done)
             return true;
     return false;
 }

@@ -3,34 +3,40 @@
  * The ServerManager: the paper's complete per-server framework
  * (Fig. 6) assembled around one simulated server.
  *
- * It owns the learning pipeline (Profiler -> Sampler ->
- * UtilityEstimator), the PowerAllocator, the Coordinator and the
- * Accountant, and drives the control loop: poll, react to events
- * E1-E4, re-allocate, actuate.  The policy (PolicyKind) selects how
- * much information each stage is allowed to use, producing the
- * baselines and schemes compared in Figs. 8 and 10.
+ * It is composition glue over the layered control plane:
+ *
+ *   LearningPipeline  — Profiler -> Sampler -> UtilityEstimator
+ *   PlanSelector      — curves + policy + budget -> one plan
+ *   Actuator          — plan -> Directives -> Coordinator/Accountant
+ *   ControlLoop       — Accountant events E1-E4, trim, refresh
+ *
+ * all publishing on one Telemetry bus.  The policy (PolicyKind)
+ * selects how much information each stage is allowed to use,
+ * producing the baselines and schemes compared in Figs. 8 and 10.
  */
 
 #ifndef PSM_CORE_MANAGER_HH
 #define PSM_CORE_MANAGER_HH
 
 #include <map>
-#include <memory>
-#include <optional>
 #include <string>
 #include <vector>
 
 #include "accountant.hh"
+#include "actuator.hh"
 #include "cf/cross_validation.hh"
 #include "cf/estimator.hh"
 #include "cf/profiler.hh"
 #include "cf/sampler.hh"
+#include "control_loop.hh"
 #include "coordinator.hh"
+#include "learning_pipeline.hh"
+#include "plan_selector.hh"
 #include "policy.hh"
 #include "power_allocator.hh"
 #include "sim/server.hh"
+#include "telemetry.hh"
 #include "utility_curve.hh"
-#include "util/random.hh"
 #include "util/units.hh"
 
 namespace psm::core
@@ -92,9 +98,10 @@ struct AppRecord
 };
 
 /**
- * The management framework for one server.
+ * The management framework for one server: composition glue over the
+ * control-plane layers.
  */
-class ServerManager
+class ServerManager : private ControlLoop::Delegate
 {
   public:
     /**
@@ -107,6 +114,13 @@ class ServerManager
     const sim::Server &server() const { return srv; }
     const Coordinator &coordinator() const { return coord; }
     CoordinationMode mode() const { return coord.mode(); }
+
+    /** The control plane's shared telemetry bus. */
+    Telemetry &telemetry() { return tel; }
+    const Telemetry &telemetry() const { return tel; }
+
+    /** The learning layer (read access for tests and tools). */
+    const LearningPipeline &learning() const { return pipeline; }
 
     /**
      * Seed the collaborative filtering corpus with exhaustively
@@ -149,7 +163,10 @@ class ServerManager
     double serverNormalizedThroughput() const;
 
     /** Latest spatial allocation (empty before the first one). */
-    const Allocation &lastAllocation() const { return last_alloc; }
+    const Allocation &lastAllocation() const
+    {
+        return actuator.lastAllocation();
+    }
 
     /** Wall-clock latency of the most recent reallocation event
      * (calibration + decision), for the Section IV-C claim. */
@@ -162,79 +179,38 @@ class ServerManager
      * figure). */
     const std::vector<AccountantEvent> &eventLog() const
     {
-        return event_log;
+        return control.eventLog();
     }
 
   private:
     sim::Server &srv;
     ManagerConfig cfg;
-    Rng rng;
-    cf::Profiler profiler;
-    cf::Sampler sampler;
-    PowerAllocator allocator;
+    Telemetry tel;
     Coordinator coord;
-    Accountant accountant;
+    LearningPipeline pipeline;
+    PlanSelector selector;
+    ControlLoop control;
+    Actuator actuator;
 
-    Allocation last_alloc;
     Tick last_realloc_latency = 0;
     std::size_t realloc_count = 0;
-    Tick next_control = 0;
-    Tick next_refresh = 0;
-    Watts cap_trim = 0.0; ///< integral cap-adherence correction
-    Joules last_meter_energy = 0.0;
-    Tick last_meter_time = 0;
-    std::vector<AccountantEvent> event_log;
 
-    /** Corpus kept locally for leave-one-out estimation. */
-    struct CorpusEntry
-    {
-        std::string name;
-        std::vector<double> power;
-        std::vector<double> hbRate;
-    };
-    std::vector<CorpusEntry> corpus;
-    std::optional<UtilityCurve> server_avg_curve;
+    std::map<int, AppRecord> app_records;
 
-    struct ManagedApp
-    {
-        AppRecord record;
-        std::optional<cf::UtilitySurface> surface;
-        Tick calibration_ready = maxTick; ///< maxTick = none pending
-        Tick calibration_started = 0;
-        std::vector<std::size_t> pending_cols;
-    };
-    std::map<int, ManagedApp> managed;
+    // ControlLoop::Delegate
+    void onDeparture(const AccountantEvent &ev) override;
+    bool onDrift(int app_id) override;
+    bool onCalibrationsDue() override;
+    void reallocate(const std::string &trigger) override;
 
     /** Refresh heartbeat counts of live records. */
     void syncRecords();
 
-    void handleControl();
-    void finishCalibration(int id);
-    void startCalibration(int id);
-    void reallocate();
-    void rebuildServerAverageCurve();
+    /** Active apps in admission order. */
+    std::vector<int> activeIds() const;
 
-    /** Active, calibrated apps in admission order. */
-    std::vector<int> managedActiveIds() const;
-
-    /** Per-app DRAM demand tracker for demand-following RAPL. */
-    std::map<int, Watts> dram_demand;
-
-    UtilityCurve buildCurve(int id, KnobFreedom freedom) const;
-    Directive directiveFor(int id, const AppAllocation &alloc) const;
-    Directive raplDirective(int id, Watts app_budget);
-    Directive blindRaplDirective(int id, Watts app_budget);
-    Watts dramDemandEstimate(int id);
-
-    void applySpatialUtilityPlan(const std::vector<int> &ids,
-                                 const Allocation &alloc);
-    void applyTemporalUtilityPlan(const std::vector<int> &ids,
-                                  const std::vector<
-                                      const UtilityCurve *> &curves,
-                                  Watts budget);
-    void applyUtilUnaware(const std::vector<int> &ids, Watts budget);
-    void applyServerResAware(const std::vector<int> &ids,
-                             Watts budget);
+    static LearningConfig learningConfig(const ManagerConfig &cfg);
+    static ControlLoopConfig controlConfig(const ManagerConfig &cfg);
 };
 
 } // namespace psm::core

@@ -1,0 +1,206 @@
+#include "plan_selector.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace psm::core
+{
+
+std::string
+planChoiceName(PlanChoice choice)
+{
+    switch (choice) {
+      case PlanChoice::Idle:
+        return "idle";
+      case PlanChoice::CalibrationOnly:
+        return "calibration-only";
+      case PlanChoice::UncappedRun:
+        return "uncapped-run";
+      case PlanChoice::SpatialUtility:
+        return "spatial-utility";
+      case PlanChoice::FairRaplSpace:
+        return "fair-rapl-space";
+      case PlanChoice::FairRaplTime:
+        return "fair-rapl-time";
+      case PlanChoice::ServerAvgSpace:
+        return "server-avg-space";
+      case PlanChoice::ServerAvgTime:
+        return "server-avg-time";
+      case PlanChoice::TemporalUtility:
+        return "temporal-utility";
+      case PlanChoice::EsdAssisted:
+        return "esd-assisted";
+      default:
+        panic("invalid PlanChoice %d", static_cast<int>(choice));
+    }
+}
+
+PlanSelector::PlanSelector(const power::PlatformConfig &platform,
+                           AllocatorConfig allocator,
+                           Telemetry *telemetry)
+    : plat(platform), alloc_cfg(allocator), tel(telemetry)
+{
+}
+
+PlanDecision
+PlanSelector::fairSplit(Watts budget, std::size_t n,
+                        bool demand_following) const
+{
+    PlanDecision d;
+    Watts floor_power = minFeasibleAppPower(plat);
+    Watts share = budget / static_cast<double>(n);
+    if (share >= floor_power) {
+        d.choice = PlanChoice::FairRaplSpace;
+        d.perAppBudget = share;
+    } else if (budget >= floor_power) {
+        // Fair alternate duty cycling; the ON app gets the whole
+        // budget, enforced by RAPL throttling.
+        d.choice = PlanChoice::FairRaplTime;
+        d.perAppBudget = budget;
+        d.demandFollowingRapl = demand_following;
+    } else {
+        d.choice = PlanChoice::Idle;
+    }
+    return d;
+}
+
+PlanDecision
+PlanSelector::selectServerResAware(const PlanInputs &in) const
+{
+    if (!in.serverAverage) {
+        fatal("Server+Res-Aware requires a seeded corpus for the "
+              "server-level average utilities");
+    }
+    const UtilityCurve &avg = *in.serverAverage;
+    PlanDecision d;
+    Watts share = in.budget / static_cast<double>(in.appCount);
+
+    auto spatial_point = avg.bestWithin(share);
+    if (spatial_point) {
+        d.choice = PlanChoice::ServerAvgSpace;
+        d.perAppBudget = share;
+        d.avgPoint = spatial_point;
+        d.objective = spatial_point->perfNorm *
+                      static_cast<double>(in.appCount);
+        return d;
+    }
+
+    auto on_point = avg.bestWithin(in.budget);
+    if (!on_point) {
+        d.choice = PlanChoice::Idle;
+        return d;
+    }
+    d.choice = PlanChoice::ServerAvgTime;
+    d.perAppBudget = in.budget;
+    d.avgPoint = on_point;
+    d.objective = on_point->perfNorm;
+    return d;
+}
+
+PlanDecision
+PlanSelector::selectUtilityAware(const PlanInputs &in) const
+{
+    PlanDecision d;
+    Watts floor_power = minFeasibleAppPower(plat);
+    Watts reserved =
+        static_cast<double>(in.calibratingCount) * floor_power;
+    Watts usable = std::max(in.budget - reserved, 0.0);
+    d.usableBudget = usable;
+
+    if (in.curves.empty()) {
+        // Everybody is still calibrating at the conservative floor;
+        // nothing to (re)plan yet.
+        d.choice = PlanChoice::CalibrationOnly;
+        return d;
+    }
+
+    // The planning allocator (temporal/ESD plans) keeps the
+    // configured reservation behaviour; the spatial DP toggles it per
+    // policy: App-Aware's RAPL enforcement can clock-modulate below
+    // any frontier point, so its curve minima are not hard minima.
+    PowerAllocator planner(alloc_cfg);
+    planner.setTelemetry(tel);
+    AllocatorConfig dp_cfg = alloc_cfg;
+    dp_cfg.reserveMinima = policyResAware(in.policy);
+    PowerAllocator dp(dp_cfg);
+    dp.setTelemetry(tel);
+
+    Allocation alloc = dp.allocate(in.curves, usable);
+    if (alloc.allScheduled()) {
+        d.choice = PlanChoice::SpatialUtility;
+        d.objective = alloc.objective;
+        d.alloc = std::move(alloc);
+        d.driftDetection = true; // E4 active in Space mode
+        return d;
+    }
+
+    // App-Aware's frequency-only utility view bottoms out at f_min,
+    // but its RAPL enforcement can clock-modulate below it: when the
+    // curves claim spatial infeasibility yet an equal share clears
+    // the hardware floor, fall back to the fair RAPL split rather
+    // than duty-cycling.
+    std::size_t n = in.curves.size();
+    if (in.policy == PolicyKind::AppAware &&
+        in.calibratingCount == 0 &&
+        usable / static_cast<double>(n) >= floor_power) {
+        PlanDecision fair = fairSplit(usable, n, false);
+        fair.usableBudget = usable;
+        return fair;
+    }
+
+    if (policyUsesEsd(in.policy) && in.hasEsd && in.esd &&
+        in.calibratingCount == 0) {
+        EsdPlan plan = planner.esdPlan(in.curves, plat.idlePower,
+                                       plat.cmPower, in.cap, *in.esd);
+        if (plan.viable) {
+            d.choice = PlanChoice::EsdAssisted;
+            d.objective = plan.objective;
+            d.esd = std::move(plan);
+            return d;
+        }
+    }
+
+    TemporalPlan plan = planner.temporalPlan(
+        in.curves, usable, ShareMode::UtilityWeighted);
+    if (plan.slots.empty()) {
+        // Even the cheapest learnt operating point exceeds the ON
+        // budget; fall back to the hardware floor: RAPL-throttled
+        // fair alternation (the same last resort the baseline has).
+        // Below the hardware floor no one can run within the cap.
+        if (usable >= floor_power) {
+            d.choice = PlanChoice::FairRaplTime;
+            d.perAppBudget = usable;
+            d.demandFollowingRapl = true;
+        } else {
+            d.choice = PlanChoice::Idle;
+        }
+        return d;
+    }
+    d.choice = PlanChoice::TemporalUtility;
+    d.objective = plan.objective;
+    d.temporal = std::move(plan);
+    return d;
+}
+
+PlanDecision
+PlanSelector::select(const PlanInputs &in) const
+{
+    PlanDecision d;
+    if (in.appCount == 0) {
+        d.choice = PlanChoice::Idle;
+    } else if (in.cap <= 0.0) {
+        d.choice = PlanChoice::UncappedRun;
+    } else if (!policyAppAware(in.policy)) {
+        d = in.policy == PolicyKind::UtilUnaware
+                ? fairSplit(in.budget, in.appCount, false)
+                : selectServerResAware(in);
+    } else {
+        d = selectUtilityAware(in);
+    }
+    if (tel)
+        tel->count("selector." + planChoiceName(d.choice));
+    return d;
+}
+
+} // namespace psm::core

@@ -30,6 +30,8 @@ PowerAllocator::allocate(const std::vector<const UtilityCurve *> &curves,
 {
     psm_assert(!curves.empty());
     psm_assert(dynamic_budget >= 0.0);
+    if (tel)
+        tel->count("allocator.allocate");
 
     std::size_t k = curves.size();
 
@@ -125,7 +127,22 @@ PowerAllocator::distributeSlack(
 {
     // Repeatedly upgrade the application whose next frontier point
     // fits the remaining slack with the best perf-per-watt gain.
-    for (;;) {
+    // Each upgrade strictly increases one app's power, so the loop is
+    // bounded by the total number of frontier points — but a frontier
+    // with a pathological (non-monotonic) shape must not be able to
+    // spin the control loop, hence the explicit iteration guard.
+    std::size_t max_upgrades = 0;
+    for (const auto *c : curves)
+        max_upgrades += c->points().size() + 1;
+    for (std::size_t iter = 0;; ++iter) {
+        if (iter > max_upgrades) {
+            if (tel)
+                tel->count("allocator.slack_guard_trips");
+            warn("allocator slack pass exceeded %zu upgrades; "
+                 "keeping the current allocation",
+                 max_upgrades);
+            return;
+        }
         Watts used = 0.0;
         for (const auto &a : alloc.apps)
             if (a.scheduled())
@@ -190,6 +207,8 @@ PowerAllocator::temporalPlan(
     const std::vector<const UtilityCurve *> &curves, Watts on_budget,
     ShareMode mode) const
 {
+    if (tel)
+        tel->count("allocator.temporal_plan");
     TemporalPlan plan;
     std::vector<std::size_t> runnable;
     for (std::size_t i = 0; i < curves.size(); ++i) {
@@ -242,6 +261,8 @@ PowerAllocator::esdPlan(const std::vector<const UtilityCurve *> &curves,
                         const esd::BatteryConfig &esd) const
 {
     EsdPlan best;
+    if (tel)
+        tel->count("allocator.esd_plan");
     if (cap <= idle_power)
         return best; // no headroom to ever charge
 

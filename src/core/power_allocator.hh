@@ -24,6 +24,7 @@
 
 #include "esd/battery.hh"
 #include "power/platform.hh"
+#include "telemetry.hh"
 #include "utility_curve.hh"
 #include "util/units.hh"
 
@@ -117,6 +118,9 @@ class PowerAllocator
 
     const AllocatorConfig &config() const { return cfg; }
 
+    /** Attach a telemetry bus (nullptr detaches). */
+    void setTelemetry(Telemetry *telemetry) { tel = telemetry; }
+
     /**
      * Utility-optimal split of @p dynamic_budget across @p curves
      * (DP + greedy slack pass).  Applications whose cheapest point
@@ -157,8 +161,11 @@ class PowerAllocator
 
   private:
     AllocatorConfig cfg;
+    Telemetry *tel = nullptr;
 
-    /** Greedy upgrade pass distributing DP slack. */
+    /** Greedy upgrade pass distributing DP slack.  Bounded: a
+     * non-monotonic marginal-utility corner case cannot spin forever
+     * (guard trips are counted on the telemetry bus). */
     void distributeSlack(const std::vector<const UtilityCurve *> &curves,
                          Allocation &alloc) const;
 };

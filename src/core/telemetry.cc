@@ -1,0 +1,162 @@
+#include "telemetry.hh"
+
+#include <ostream>
+
+namespace psm::core
+{
+
+namespace
+{
+
+/** Minimal JSON string escaping (bus names are plain identifiers,
+ * but decision triggers may one day carry arbitrary text). */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            out += c;
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+void
+Telemetry::count(const std::string &name, std::uint64_t delta)
+{
+    counter_map[name] += delta;
+}
+
+std::uint64_t
+Telemetry::counter(const std::string &name) const
+{
+    auto it = counter_map.find(name);
+    return it == counter_map.end() ? 0 : it->second;
+}
+
+void
+Telemetry::observe(const std::string &name, Tick elapsed)
+{
+    TimerStat &t = timer_map[name];
+    ++t.count;
+    t.total += elapsed;
+    if (elapsed > t.max)
+        t.max = elapsed;
+}
+
+TimerStat
+Telemetry::timer(const std::string &name) const
+{
+    auto it = timer_map.find(name);
+    return it == timer_map.end() ? TimerStat{} : it->second;
+}
+
+void
+Telemetry::record(DecisionRecord rec)
+{
+    decision_log.push_back(std::move(rec));
+    while (decision_log.size() > maxDecisions)
+        decision_log.pop_front();
+}
+
+void
+Telemetry::merge(const Telemetry &other)
+{
+    for (const auto &[name, value] : other.counter_map)
+        counter_map[name] += value;
+    for (const auto &[name, stat] : other.timer_map) {
+        TimerStat &t = timer_map[name];
+        t.count += stat.count;
+        t.total += stat.total;
+        if (stat.max > t.max)
+            t.max = stat.max;
+    }
+    for (const auto &rec : other.decision_log)
+        record(rec);
+}
+
+void
+Telemetry::reset()
+{
+    counter_map.clear();
+    timer_map.clear();
+    decision_log.clear();
+}
+
+void
+Telemetry::dumpText(std::ostream &os) const
+{
+    os << "== telemetry ==\n";
+    os << "counters:\n";
+    for (const auto &[name, value] : counter_map)
+        os << "  " << name << " = " << value << "\n";
+    os << "timers:\n";
+    for (const auto &[name, t] : timer_map) {
+        os << "  " << name << ": count=" << t.count
+           << " total=" << toSeconds(t.total) << "s"
+           << " max=" << toSeconds(t.max) << "s\n";
+    }
+    os << "decisions (" << decision_log.size() << "):\n";
+    for (const auto &d : decision_log) {
+        os << "  t=" << toSeconds(d.when) << "s"
+           << " trigger=" << d.trigger << " policy=" << d.policy
+           << " plan=" << d.plan << " mode=" << d.mode
+           << " objective=" << d.objective << " budget=" << d.budget
+           << "W apps=" << d.apps
+           << " latency=" << toSeconds(d.latency) << "s\n";
+    }
+}
+
+void
+Telemetry::dumpJson(std::ostream &os) const
+{
+    os << "{\"counters\":{";
+    bool first = true;
+    for (const auto &[name, value] : counter_map) {
+        os << (first ? "" : ",") << "\"" << jsonEscape(name)
+           << "\":" << value;
+        first = false;
+    }
+    os << "},\"timers\":{";
+    first = true;
+    for (const auto &[name, t] : timer_map) {
+        os << (first ? "" : ",") << "\"" << jsonEscape(name)
+           << "\":{\"count\":" << t.count
+           << ",\"total_s\":" << toSeconds(t.total)
+           << ",\"max_s\":" << toSeconds(t.max) << "}";
+        first = false;
+    }
+    os << "},\"decisions\":[";
+    first = true;
+    for (const auto &d : decision_log) {
+        os << (first ? "" : ",") << "{\"when_s\":" << toSeconds(d.when)
+           << ",\"trigger\":\"" << jsonEscape(d.trigger) << "\""
+           << ",\"policy\":\"" << jsonEscape(d.policy) << "\""
+           << ",\"plan\":\"" << jsonEscape(d.plan) << "\""
+           << ",\"mode\":\"" << jsonEscape(d.mode) << "\""
+           << ",\"objective\":" << d.objective
+           << ",\"budget_w\":" << d.budget << ",\"apps\":" << d.apps
+           << ",\"latency_s\":" << toSeconds(d.latency) << "}";
+        first = false;
+    }
+    os << "]}";
+}
+
+} // namespace psm::core

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * The Telemetry bus: a lightweight, cross-cutting sink for control-plane
+ * observability.
+ *
+ * Every layer of the control plane — learning pipeline, plan selector,
+ * allocator, coordinator, control loop and the cluster substrate —
+ * publishes into one of three primitives:
+ *
+ *  - counters: monotonically increasing named event tallies
+ *    (plan choices, accountant events, guard trips, mode transitions);
+ *  - timers: named duration observations with count/total/max;
+ *  - decision records: one structured record per allocation decision
+ *    (trigger, policy, selected plan, resulting coordination mode,
+ *    objective, budget, latency).
+ *
+ * The bus is passive and allocation-light: publishing never influences
+ * control decisions, so a manager with and without telemetry attached
+ * behaves identically.  Text and JSON dump hooks serve the benches
+ * (see bench/bench_common.hh) and tests.
+ */
+
+#ifndef PSM_CORE_TELEMETRY_HH
+#define PSM_CORE_TELEMETRY_HH
+
+#include <cstdint>
+#include <deque>
+#include <iosfwd>
+#include <map>
+#include <string>
+
+#include "util/units.hh"
+
+namespace psm::core
+{
+
+/** One allocation decision as observed on the bus. */
+struct DecisionRecord
+{
+    Tick when = 0;          ///< simulated time of the decision
+    std::string trigger;    ///< comma-joined causes ("E1-cap-change",
+                            ///< "refresh", "trim", "calibration", ...)
+    std::string policy;     ///< policyName() of the deciding manager
+    std::string plan;       ///< planChoiceName() of the selected plan
+    std::string mode;       ///< coordinationModeName() after actuation
+    double objective = 0.0; ///< expected Eq. 1 objective of the plan
+    Watts budget = 0.0;     ///< dynamic budget the plan divided
+    std::size_t apps = 0;   ///< active applications at decision time
+    Tick latency = 0;       ///< allocation latency (calibration+decision)
+};
+
+/** Aggregate of one named timer. */
+struct TimerStat
+{
+    std::uint64_t count = 0;
+    Tick total = 0;
+    Tick max = 0;
+};
+
+/**
+ * The bus itself.  Not thread-safe (the simulator is single-threaded);
+ * cheap enough to leave attached in benches.
+ */
+class Telemetry
+{
+  public:
+    /** Bump a named counter. */
+    void count(const std::string &name, std::uint64_t delta = 1);
+
+    /** Read a counter (0 when never bumped). */
+    std::uint64_t counter(const std::string &name) const;
+
+    /** Observe one duration under a named timer. */
+    void observe(const std::string &name, Tick elapsed);
+
+    /** Read a timer's aggregate (zeroes when never observed). */
+    TimerStat timer(const std::string &name) const;
+
+    /** Publish one allocation decision record. */
+    void record(DecisionRecord rec);
+
+    /** All decision records, oldest first (bounded ring). */
+    const std::deque<DecisionRecord> &decisions() const
+    {
+        return decision_log;
+    }
+
+    /** All counters, name-ordered. */
+    const std::map<std::string, std::uint64_t> &counters() const
+    {
+        return counter_map;
+    }
+
+    /**
+     * Fold another bus into this one: counters and timers add up,
+     * decision records append.  Used to aggregate per-node telemetry
+     * at cluster scope.
+     */
+    void merge(const Telemetry &other);
+
+    /** Drop everything. */
+    void reset();
+
+    /** Human-readable dump (counters, timers, recent decisions). */
+    void dumpText(std::ostream &os) const;
+
+    /** Machine-readable JSON dump of the same content. */
+    void dumpJson(std::ostream &os) const;
+
+    /**
+     * Decision records kept before the ring starts dropping its
+     * oldest entries (counters and timers are never dropped).
+     */
+    static constexpr std::size_t maxDecisions = 65536;
+
+  private:
+    std::map<std::string, std::uint64_t> counter_map;
+    std::map<std::string, TimerStat> timer_map;
+    std::deque<DecisionRecord> decision_log;
+};
+
+} // namespace psm::core
+
+#endif // PSM_CORE_TELEMETRY_HH

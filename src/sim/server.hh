@@ -114,6 +114,12 @@ class Server
     esd::Battery *battery();
     const esd::Battery *battery() const;
 
+    /** Configuration of the attached ESD (requires hasEsd()). */
+    const esd::BatteryConfig &esdConfig() const
+    {
+        return battery_state->battery.config();
+    }
+
     /**
      * Allow or forbid ESD charging.  Discharge needs no permission:
      * whenever server demand exceeds the cap and charge is off, the

@@ -1,0 +1,452 @@
+/**
+ * @file
+ * Tests for the layered control plane: the Telemetry bus, the
+ * LearningPipeline, the PlanSelector, the NodePool substrate, and an
+ * end-to-end scripted E1-E4 scenario observed entirely through the
+ * telemetry bus.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+
+#include "cf/profiler.hh"
+#include "cluster/node_pool.hh"
+#include "core/learning_pipeline.hh"
+#include "core/manager.hh"
+#include "core/plan_selector.hh"
+#include "core/telemetry.hh"
+#include "perf/perf_model.hh"
+#include "perf/workloads.hh"
+#include "util/random.hh"
+
+namespace psm::core
+{
+namespace
+{
+
+using perf::workload;
+using perf::workloadLibrary;
+using power::defaultPlatform;
+
+// --- Telemetry bus ----------------------------------------------------------
+
+TEST(Telemetry, CountersAccumulate)
+{
+    Telemetry tel;
+    EXPECT_EQ(tel.counter("x"), 0u);
+    tel.count("x");
+    tel.count("x", 4);
+    EXPECT_EQ(tel.counter("x"), 5u);
+    EXPECT_EQ(tel.counter("never"), 0u);
+}
+
+TEST(Telemetry, TimersTrackCountTotalMax)
+{
+    Telemetry tel;
+    tel.observe("t", 10);
+    tel.observe("t", 30);
+    tel.observe("t", 20);
+    TimerStat t = tel.timer("t");
+    EXPECT_EQ(t.count, 3u);
+    EXPECT_EQ(t.total, 60);
+    EXPECT_EQ(t.max, 30);
+    EXPECT_EQ(tel.timer("never").count, 0u);
+}
+
+TEST(Telemetry, MergeFoldsCountersTimersAndDecisions)
+{
+    Telemetry a;
+    a.count("c", 2);
+    a.observe("t", 10);
+    DecisionRecord rec;
+    rec.plan = "idle";
+    a.record(rec);
+
+    Telemetry b;
+    b.count("c", 3);
+    b.count("only-b");
+    b.observe("t", 25);
+    rec.plan = "spatial-utility";
+    b.record(rec);
+
+    a.merge(b);
+    EXPECT_EQ(a.counter("c"), 5u);
+    EXPECT_EQ(a.counter("only-b"), 1u);
+    EXPECT_EQ(a.timer("t").count, 2u);
+    EXPECT_EQ(a.timer("t").max, 25);
+    ASSERT_EQ(a.decisions().size(), 2u);
+    EXPECT_EQ(a.decisions()[1].plan, "spatial-utility");
+
+    a.reset();
+    EXPECT_EQ(a.counter("c"), 0u);
+    EXPECT_TRUE(a.decisions().empty());
+}
+
+TEST(Telemetry, DumpsContainTheirContent)
+{
+    Telemetry tel;
+    tel.count("decisions.total", 7);
+    tel.observe("alloc", toTicks(0.5));
+    DecisionRecord rec;
+    rec.trigger = "E1-cap-change";
+    rec.plan = "fair-rapl-space";
+    tel.record(rec);
+
+    std::ostringstream text;
+    tel.dumpText(text);
+    EXPECT_NE(text.str().find("decisions.total = 7"),
+              std::string::npos);
+    EXPECT_NE(text.str().find("fair-rapl-space"), std::string::npos);
+
+    std::ostringstream json;
+    tel.dumpJson(json);
+    EXPECT_NE(json.str().find("\"decisions.total\":7"),
+              std::string::npos);
+    EXPECT_NE(json.str().find("\"trigger\":\"E1-cap-change\""),
+              std::string::npos);
+    // Crude structural sanity: braces balance.
+    int depth = 0;
+    for (char c : json.str()) {
+        if (c == '{')
+            ++depth;
+        if (c == '}')
+            --depth;
+        ASSERT_GE(depth, 0);
+    }
+    EXPECT_EQ(depth, 0);
+}
+
+// --- LearningPipeline -------------------------------------------------------
+
+TEST(LearningPipeline, OracleCalibrationIsImmediate)
+{
+    sim::Server server;
+    LearningConfig lc;
+    lc.oracleUtilities = true;
+    Telemetry tel;
+    LearningPipeline pipe(server, lc, &tel);
+    pipe.seedCorpus(workloadLibrary());
+    ASSERT_TRUE(pipe.serverAverageCurve().has_value());
+
+    int id = server.admit(workload("stream"));
+    pipe.track(id, "stream");
+    EXPECT_FALSE(pipe.calibrated(id));
+    EXPECT_TRUE(pipe.startCalibration(id));
+    EXPECT_TRUE(pipe.calibrated(id));
+    EXPECT_EQ(pipe.lastCalibrationLatency(), 0);
+
+    UtilityCurve curve = pipe.utilityFor(id, KnobFreedom::All);
+    EXPECT_GT(curve.maxPower(), curve.minPower());
+    EXPECT_EQ(tel.counter("learning.oracle_calibrations"), 1u);
+}
+
+TEST(LearningPipeline, OnlineCalibrationChargesWallClock)
+{
+    sim::Server server;
+    LearningConfig lc;
+    Telemetry tel;
+    LearningPipeline pipe(server, lc, &tel);
+    pipe.seedCorpus(workloadLibrary());
+
+    int id = server.admit(workload("kmeans"));
+    pipe.track(id, "kmeans");
+    EXPECT_FALSE(pipe.startCalibration(id));
+    EXPECT_FALSE(pipe.calibrated(id));
+    // The app is pinned conservatively while being profiled.
+    EXPECT_NEAR(server.app(id).knobs().freq,
+                defaultPlatform().minSetting().freq, 1e-9);
+    // Nothing is due before the measurement wall-clock elapses.
+    EXPECT_TRUE(pipe.finishDueCalibrations().empty());
+
+    server.run(toTicks(10.0));
+    std::vector<int> done = pipe.finishDueCalibrations();
+    ASSERT_EQ(done.size(), 1u);
+    EXPECT_EQ(done[0], id);
+    EXPECT_TRUE(pipe.calibrated(id));
+    EXPECT_GT(pipe.lastCalibrationLatency(), 0);
+    EXPECT_EQ(tel.counter("learning.calibrations_finished"), 1u);
+}
+
+// --- PlanSelector -----------------------------------------------------------
+
+class PlanSelectorTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        const auto &plat = defaultPlatform();
+        settings = plat.knobSpace();
+        cf::Profiler prof(plat, 0.0);
+        Rng rng(1);
+        std::vector<cf::UtilitySurface> surfaces;
+        for (const char *name : {"stream", "kmeans"}) {
+            perf::PerfModel model(plat, perf::workload(name));
+            std::vector<double> p, h;
+            prof.measureAll(model, p, h, rng);
+            surfaces.push_back(
+                cf::UtilityEstimator::surfaceFromRows(p, h));
+            curves.push_back(std::make_unique<UtilityCurve>(
+                name, settings, surfaces.back(), KnobFreedom::All,
+                &plat));
+        }
+        ptrs = {curves[0].get(), curves[1].get()};
+        avg = std::make_unique<UtilityCurve>(
+            "server-average", settings, averageSurfaces(surfaces),
+            KnobFreedom::All);
+    }
+
+    /** Dynamic budget the manager would derive for a given cap. */
+    Watts
+    budgetFor(Watts cap) const
+    {
+        const auto &plat = defaultPlatform();
+        Watts b = std::max(cap - plat.idlePower - plat.cmPower, 0.0);
+        return b * 0.98;
+    }
+
+    PlanInputs
+    inputsFor(PolicyKind policy, Watts cap)
+    {
+        PlanInputs in;
+        in.policy = policy;
+        in.cap = cap;
+        in.budget = budgetFor(cap);
+        in.appCount = 2;
+        if (policyAppAware(policy))
+            in.curves = ptrs;
+        if (policy == PolicyKind::ServerResAware)
+            in.serverAverage = avg.get();
+        return in;
+    }
+
+    std::vector<power::KnobSetting> settings;
+    std::vector<std::unique_ptr<UtilityCurve>> curves;
+    std::vector<const UtilityCurve *> ptrs;
+    std::unique_ptr<UtilityCurve> avg;
+    Telemetry tel;
+    PlanSelector selector{defaultPlatform(), AllocatorConfig{}, &tel};
+};
+
+TEST_F(PlanSelectorTest, NoAppsMeansIdle)
+{
+    PlanInputs in;
+    in.appCount = 0;
+    EXPECT_EQ(selector.select(in).choice, PlanChoice::Idle);
+    EXPECT_EQ(tel.counter("selector.idle"), 1u);
+}
+
+TEST_F(PlanSelectorTest, NoCapMeansUncappedRun)
+{
+    PlanInputs in = inputsFor(PolicyKind::AppResAware, 0.0);
+    EXPECT_EQ(selector.select(in).choice, PlanChoice::UncappedRun);
+}
+
+TEST_F(PlanSelectorTest, UtilUnawareSplitsFairly)
+{
+    PlanDecision d =
+        selector.select(inputsFor(PolicyKind::UtilUnaware, 100.0));
+    EXPECT_EQ(d.choice, PlanChoice::FairRaplSpace);
+    EXPECT_NEAR(d.perAppBudget, budgetFor(100.0) / 2.0, 1e-9);
+    EXPECT_FALSE(d.driftDetection);
+
+    // Share below the floor but budget above it: duty cycling with
+    // the blind baseline enforcement.
+    Watts floor_power = minFeasibleAppPower(defaultPlatform());
+    PlanInputs in = inputsFor(PolicyKind::UtilUnaware, 100.0);
+    in.budget = floor_power * 1.5;
+    d = selector.select(in);
+    EXPECT_EQ(d.choice, PlanChoice::FairRaplTime);
+    EXPECT_FALSE(d.demandFollowingRapl);
+
+    // Budget below the floor: nobody can run.
+    in.budget = floor_power * 0.5;
+    EXPECT_EQ(selector.select(in).choice, PlanChoice::Idle);
+}
+
+TEST_F(PlanSelectorTest, ServerResAwareUsesTheAverageCurve)
+{
+    PlanDecision d =
+        selector.select(inputsFor(PolicyKind::ServerResAware, 100.0));
+    EXPECT_EQ(d.choice, PlanChoice::ServerAvgSpace);
+    ASSERT_TRUE(d.avgPoint.has_value());
+    EXPECT_LE(d.avgPoint->power, budgetFor(100.0) / 2.0 + 1e-6);
+
+    // A tight cap forces the temporal fallback on the same curve.
+    PlanInputs in = inputsFor(PolicyKind::ServerResAware, 100.0);
+    in.budget = avg->minPower() * 1.2;
+    d = selector.select(in);
+    EXPECT_EQ(d.choice, PlanChoice::ServerAvgTime);
+}
+
+TEST_F(PlanSelectorTest, UtilityAwareSelectsSpatialAtAmpleBudget)
+{
+    PlanDecision d =
+        selector.select(inputsFor(PolicyKind::AppResAware, 100.0));
+    EXPECT_EQ(d.choice, PlanChoice::SpatialUtility);
+    EXPECT_TRUE(d.driftDetection); // E4 active only in Space mode
+    EXPECT_TRUE(d.alloc.allScheduled());
+    EXPECT_GT(d.objective, 0.0);
+    EXPECT_EQ(tel.counter("selector.spatial-utility"), 1u);
+}
+
+TEST_F(PlanSelectorTest, UtilityAwareFallsBackToTemporalWhenTight)
+{
+    // A budget below the sum of curve minima cannot host everyone
+    // concurrently; the selector must duty-cycle instead.
+    PlanInputs in = inputsFor(PolicyKind::AppResAware, 100.0);
+    in.budget =
+        (curves[0]->minPower() + curves[1]->minPower()) * 0.75;
+    PlanDecision d = selector.select(in);
+    EXPECT_EQ(d.choice, PlanChoice::TemporalUtility);
+    EXPECT_FALSE(d.driftDetection);
+    EXPECT_FALSE(d.temporal.slots.empty());
+}
+
+TEST_F(PlanSelectorTest, CalibratingAppsReserveTheirFloor)
+{
+    PlanInputs in = inputsFor(PolicyKind::AppResAware, 100.0);
+    in.calibratingCount = 1;
+    PlanDecision d = selector.select(in);
+    Watts floor_power = minFeasibleAppPower(defaultPlatform());
+    EXPECT_NEAR(d.usableBudget, budgetFor(100.0) - floor_power, 1e-9);
+
+    // Nobody calibrated yet: hold the floor, decide nothing.
+    in.curves.clear();
+    in.calibratingCount = 2;
+    EXPECT_EQ(selector.select(in).choice,
+              PlanChoice::CalibrationOnly);
+}
+
+TEST_F(PlanSelectorTest, EsdPolicyConsolidatesUnderTightCaps)
+{
+    esd::BatteryConfig esd = esd::leadAcidUps();
+    PlanInputs in = inputsFor(PolicyKind::AppResEsdAware, 80.0);
+    in.hasEsd = true;
+    in.esd = &esd;
+    PlanDecision d = selector.select(in);
+    EXPECT_EQ(d.choice, PlanChoice::EsdAssisted);
+    EXPECT_TRUE(d.esd.viable);
+    EXPECT_TRUE(d.esd.onAllocation.allScheduled());
+
+    // The same inputs without the battery duty-cycle instead.
+    in.hasEsd = false;
+    in.esd = nullptr;
+    d = selector.select(in);
+    EXPECT_NE(d.choice, PlanChoice::EsdAssisted);
+}
+
+// --- NodePool ---------------------------------------------------------------
+
+TEST(NodePool, BuildsManagedNodesAndAggregatesTelemetry)
+{
+    cluster::NodePoolConfig pc;
+    pc.servers = 2;
+    pc.seedBase = 100;
+    pc.serverCap = 100.0;
+    cluster::NodePool pool(pc);
+    ASSERT_EQ(pool.size(), 2u);
+
+    for (std::size_t s = 0; s < pool.size(); ++s) {
+        ASSERT_NE(pool[s].manager, nullptr);
+        EXPECT_EQ(pool[s].manager->config().seed, 100 + s);
+        pool[s].manager->addApp(workload("stream"));
+        pool[s].manager->run(toTicks(3.0));
+    }
+
+    EXPECT_GT(pool.totalEnergy(), 0.0);
+    Telemetry cluster_tel = pool.aggregateTelemetry();
+    // Both nodes reallocated at least once each.
+    EXPECT_GE(cluster_tel.counter("manager.reallocations"), 2u);
+    EXPECT_EQ(cluster_tel.counter("manager.reallocations"),
+              pool[0].manager->reallocationCount() +
+                  pool[1].manager->reallocationCount());
+}
+
+TEST(NodePool, RawPoolHasNoManagers)
+{
+    cluster::NodePoolConfig pc;
+    pc.servers = 2;
+    pc.managed = false;
+    cluster::NodePool pool(pc);
+    EXPECT_EQ(pool[0].manager, nullptr);
+    EXPECT_EQ(pool[1].manager, nullptr);
+    EXPECT_EQ(pool.aggregateTelemetry().counters().size(), 0u);
+}
+
+// --- End-to-end: the E1-E4 script on the bus --------------------------------
+
+TEST(ControlPlane, ScriptedEventsLandOnTheTelemetryBus)
+{
+    sim::Server server;
+    server.setCap(100.0);
+    ManagerConfig cfg;
+    cfg.policy = PolicyKind::AppResAware;
+    cfg.oracleUtilities = true;
+    ServerManager manager(server, cfg);
+    manager.seedCorpus(workloadLibrary());
+
+    // E2: two arrivals.  The first app changes phase mid-run so its
+    // draw drifts from its allocation (E4); the second is finite so
+    // it departs (E3).
+    int drifting = manager.addApp(workload("kmeans"));
+    server.app(drifting).setPhases(
+        {{0.25, 1.0, 1.0}, {1.0, 0.3, 25.0}});
+    perf::AppProfile finite = workload("x264");
+    finite.totalHeartbeats = 3600.0;
+    manager.addApp(finite);
+
+    // Drift detection runs in Space mode only, so the phase change
+    // and the departure both happen under the 100 W cap.
+    manager.run(toTicks(60.0));
+    // E1: the datacenter tightens the cap mid-run.
+    manager.setCap(80.0);
+    manager.run(toTicks(30.0));
+
+    const Telemetry &tel = manager.telemetry();
+
+    // Every event kind was observed and counted.
+    EXPECT_EQ(tel.counter("event.E1-cap-change"), 1u);
+    EXPECT_EQ(tel.counter("event.E2-arrival"), 2u);
+    EXPECT_GE(tel.counter("event.E3-departure"), 1u);
+    EXPECT_GE(tel.counter("event.E4-drift"), 1u);
+
+    // Each reallocation produced exactly one decision record.
+    EXPECT_EQ(tel.counter("manager.reallocations"),
+              manager.reallocationCount());
+    EXPECT_EQ(tel.timer("manager.reallocate").count,
+              manager.reallocationCount());
+    ASSERT_EQ(tel.decisions().size(), manager.reallocationCount());
+
+    // The triggers recorded on the bus mirror the event log.
+    bool saw_cap_trigger = false, saw_arrival = false,
+         saw_departure = false, saw_drift = false;
+    for (const DecisionRecord &d : tel.decisions()) {
+        EXPECT_EQ(d.policy, "App+Res-Aware");
+        EXPECT_FALSE(d.plan.empty());
+        EXPECT_FALSE(d.mode.empty());
+        saw_cap_trigger |= d.trigger == "E1-cap-change";
+        saw_arrival |= d.trigger == "E2-arrival";
+        saw_departure |= d.trigger == "E3-departure";
+        saw_drift |= d.trigger == "E4-drift";
+    }
+    EXPECT_TRUE(saw_cap_trigger);
+    EXPECT_TRUE(saw_arrival);
+    EXPECT_TRUE(saw_departure);
+    EXPECT_TRUE(saw_drift);
+
+    // The selector's plan tally matches the decision count, and the
+    // coordinator published its mode transitions.
+    std::uint64_t plans = 0;
+    for (const auto &[name, value] : tel.counters()) {
+        if (name.rfind("selector.", 0) == 0)
+            plans += value;
+    }
+    EXPECT_EQ(plans, manager.reallocationCount());
+    EXPECT_GE(tel.counter("coordinator.enter.space"), 1u);
+}
+
+} // namespace
+} // namespace psm::core

@@ -202,6 +202,104 @@ TEST_F(CoordinatorTest, EsdAlternatesChargeAndOnPhases)
     EXPECT_GT(server.battery()->totalDelivered(), 0.0);
 }
 
+TEST_F(CoordinatorTest, EmptyPlansDegradeToIdle)
+{
+    Telemetry tel;
+    coord.setTelemetry(&tel);
+
+    Directive da{a, defaultPlatform().maxSetting(), false, 0.0};
+    coord.coordinateSpace(server, {da});
+    ASSERT_EQ(coord.mode(), CoordinationMode::Space);
+
+    coord.coordinateSpace(server, {});
+    EXPECT_EQ(coord.mode(), CoordinationMode::Idle);
+    EXPECT_FALSE(server.app(a).running());
+
+    coord.coordinateTime(server, {}, {});
+    EXPECT_EQ(coord.mode(), CoordinationMode::Idle);
+    EXPECT_EQ(coord.activeSlot(), -1);
+
+    coord.coordinateEsd(server, {}, 0.5);
+    EXPECT_EQ(coord.mode(), CoordinationMode::Idle);
+    EXPECT_FALSE(coord.inChargePhase());
+
+    EXPECT_EQ(tel.counter("coordinator.empty_plan"), 3u);
+}
+
+TEST_F(CoordinatorTest, TimeSharesAwayFromOneAreRenormalized)
+{
+    CoordinatorConfig cfg;
+    cfg.dutyPeriod = toTicks(1.0);
+    Coordinator c(cfg);
+    Telemetry tel;
+    c.setTelemetry(&tel);
+
+    Directive da{a, defaultPlatform().maxSetting(), false, 0.0};
+    Directive db{b, defaultPlatform().maxSetting(), false, 0.0};
+    // 3:1 ratio, but summing to 2.0 instead of 1.0.
+    c.coordinateTime(server, {da, db}, {1.5, 0.5});
+    EXPECT_EQ(c.mode(), CoordinationMode::Time);
+    EXPECT_EQ(tel.counter("coordinator.share_renormalized"), 1u);
+
+    Tick a_on = 0, b_on = 0;
+    for (int i = 0; i < 800; ++i) {
+        c.advance(server);
+        if (server.app(a).running())
+            a_on += server.stepSize();
+        if (server.app(b).running())
+            b_on += server.stepSize();
+        server.step();
+    }
+    // The ratio survives renormalization: a gets ~3/4 of the ON time.
+    EXPECT_NEAR(static_cast<double>(a_on) /
+                    static_cast<double>(a_on + b_on),
+                0.75, 0.1);
+}
+
+TEST_F(CoordinatorTest, ModeTransitionsKeepSlotAndPhaseInvariants)
+{
+    esd::BatteryConfig esd = esd::leadAcidUps();
+    server.attachEsd(esd);
+    server.setCap(80.0);
+
+    Telemetry tel;
+    coord.setTelemetry(&tel);
+    Directive da{a, defaultPlatform().maxSetting(), false, 0.0};
+    Directive db{b, defaultPlatform().maxSetting(), false, 0.0};
+
+    // Space: nobody duty-cycles, no ESD phase.
+    coord.coordinateSpace(server, {da, db});
+    EXPECT_EQ(coord.mode(), CoordinationMode::Space);
+    EXPECT_EQ(coord.activeSlot(), -1);
+    EXPECT_FALSE(coord.inChargePhase());
+
+    // Time: a slot is active, still no ESD phase.
+    coord.coordinateTime(server, {da, db}, {0.5, 0.5});
+    EXPECT_EQ(coord.mode(), CoordinationMode::Time);
+    EXPECT_EQ(coord.activeSlot(), 0);
+    EXPECT_FALSE(coord.inChargePhase());
+
+    // EsdAssisted: no alternate slot, charge phase begins.
+    coord.coordinateEsd(server, {da, db}, 0.5);
+    EXPECT_EQ(coord.mode(), CoordinationMode::EsdAssisted);
+    EXPECT_EQ(coord.activeSlot(), -1);
+    EXPECT_TRUE(coord.inChargePhase());
+
+    // Idle: everything off.
+    coord.idle(server);
+    EXPECT_EQ(coord.mode(), CoordinationMode::Idle);
+    EXPECT_EQ(coord.activeSlot(), -1);
+    EXPECT_FALSE(coord.inChargePhase());
+    EXPECT_FALSE(server.app(a).running());
+    EXPECT_FALSE(server.app(b).running());
+
+    // Every transition was published on the bus.
+    EXPECT_EQ(tel.counter("coordinator.enter.space"), 1u);
+    EXPECT_EQ(tel.counter("coordinator.enter.time"), 1u);
+    EXPECT_EQ(tel.counter("coordinator.enter.esd"), 1u);
+    EXPECT_EQ(tel.counter("coordinator.enter.idle"), 1u);
+}
+
 // --- Accountant ----------------------------------------------------------------
 
 TEST(Accountant, EventNames)
