@@ -5,6 +5,7 @@
 #include <random>
 
 #include "util/logging.hh"
+#include "util/thread_pool.hh"
 
 namespace psm::cf
 {
@@ -18,6 +19,8 @@ AlsConfig::validate() const
         fatal("ALS lambda must be non-negative");
     if (iterations == 0)
         fatal("ALS needs at least one iteration");
+    if (warmIterations == 0)
+        fatal("ALS needs at least one warm iteration");
 }
 
 std::vector<double>
@@ -55,18 +58,30 @@ solveSpd(std::vector<double> a, std::vector<double> b, std::size_t k)
     return b;
 }
 
-AlsModel::AlsModel(const MaskedMatrix &data, AlsConfig config)
+AlsModel::AlsModel(const MaskedMatrix &data, AlsConfig config,
+                   const AlsWarmStart *warm)
     : cfg(config)
 {
     cfg.validate();
     n_rows = data.rows();
     n_cols = data.cols();
     psm_assert(n_rows > 0 && n_cols > 0);
-    fit(data);
+    fit(data, warm);
+}
+
+AlsWarmStart
+AlsModel::warmStart() const
+{
+    AlsWarmStart w;
+    w.rowBias = row_bias;
+    w.colBias = col_bias;
+    w.u = u;
+    w.v = v;
+    return w;
 }
 
 void
-AlsModel::fit(const MaskedMatrix &data)
+AlsModel::fit(const MaskedMatrix &data, const AlsWarmStart *warm)
 {
     std::size_t k = cfg.rank;
     mu = data.observedMean();
@@ -74,17 +89,25 @@ AlsModel::fit(const MaskedMatrix &data)
     clamp_lo = lo;
     clamp_hi = hi;
 
-    row_bias.assign(n_rows, 0.0);
-    col_bias.assign(n_cols, 0.0);
-    u.assign(n_rows * k, 0.0);
-    v.assign(n_cols * k, 0.0);
+    bool warmed = warm && warm->matches(n_rows, n_cols, k);
+    if (warmed) {
+        row_bias = warm->rowBias;
+        col_bias = warm->colBias;
+        u = warm->u;
+        v = warm->v;
+    } else {
+        row_bias.assign(n_rows, 0.0);
+        col_bias.assign(n_cols, 0.0);
+        u.assign(n_rows * k, 0.0);
+        v.assign(n_cols * k, 0.0);
 
-    std::mt19937 rng(cfg.seed);
-    std::normal_distribution<double> init(0.0, 0.1);
-    for (double &x : u)
-        x = init(rng);
-    for (double &x : v)
-        x = init(rng);
+        std::mt19937 rng(cfg.seed);
+        std::normal_distribution<double> init(0.0, 0.1);
+        for (double &x : u)
+            x = init(rng);
+        for (double &x : v)
+            x = init(rng);
+    }
 
     if (data.observedCount() == 0)
         return;
@@ -106,33 +129,43 @@ AlsModel::fit(const MaskedMatrix &data)
         return data.at(r, c) - (mu + row_bias[r] + col_bias[c] + dot);
     };
 
-    for (std::size_t iter = 0; iter < cfg.iterations; ++iter) {
+    // Every sub-pass below updates index i from state the pass holds
+    // fixed (row biases read column biases of the *previous* pass and
+    // vice versa; factor solves read the opposite side's factors), so
+    // the per-index solves of one pass are independent and run on the
+    // pool.  Each index writes only its own bias/factor slice, which
+    // makes the result bit-identical to the serial sweep at any
+    // worker count.
+    util::ThreadPool &pool = util::ThreadPool::global();
+
+    sweeps_run = warmed ? cfg.warmIterations : cfg.iterations;
+    for (std::size_t iter = 0; iter < sweeps_run; ++iter) {
         // Bias updates (closed form ridge estimates).
-        for (std::size_t r = 0; r < n_rows; ++r) {
+        pool.parallelFor(n_rows, [&](std::size_t r) {
             if (row_obs[r].empty())
-                continue;
+                return;
             double sum = 0.0;
             for (std::size_t c : row_obs[r])
                 sum += residual(r, c) + row_bias[r];
             row_bias[r] =
                 sum / (static_cast<double>(row_obs[r].size()) +
                        cfg.lambda);
-        }
-        for (std::size_t c = 0; c < n_cols; ++c) {
+        });
+        pool.parallelFor(n_cols, [&](std::size_t c) {
             if (col_obs[c].empty())
-                continue;
+                return;
             double sum = 0.0;
             for (std::size_t r : col_obs[c])
                 sum += residual(r, c) + col_bias[c];
             col_bias[c] =
                 sum / (static_cast<double>(col_obs[c].size()) +
                        cfg.lambda);
-        }
+        });
 
         // Row factors: ridge regression against fixed column factors.
-        for (std::size_t r = 0; r < n_rows; ++r) {
+        pool.parallelFor(n_rows, [&](std::size_t r) {
             if (row_obs[r].empty())
-                continue;
+                return;
             std::vector<double> a(k * k, 0.0);
             std::vector<double> b(k, 0.0);
             for (std::size_t c : row_obs[r]) {
@@ -152,12 +185,12 @@ AlsModel::fit(const MaskedMatrix &data)
             auto x = solveSpd(std::move(a), std::move(b), k);
             std::copy(x.begin(), x.end(), u.begin() +
                       static_cast<long>(r * k));
-        }
+        });
 
         // Column factors symmetrically.
-        for (std::size_t c = 0; c < n_cols; ++c) {
+        pool.parallelFor(n_cols, [&](std::size_t c) {
             if (col_obs[c].empty())
-                continue;
+                return;
             std::vector<double> a(k * k, 0.0);
             std::vector<double> b(k, 0.0);
             for (std::size_t r : col_obs[c]) {
@@ -177,7 +210,7 @@ AlsModel::fit(const MaskedMatrix &data)
             auto x = solveSpd(std::move(a), std::move(b), k);
             std::copy(x.begin(), x.end(), v.begin() +
                       static_cast<long>(c * k));
-        }
+        });
     }
 }
 

@@ -37,9 +37,35 @@ struct AlsConfig
     double lambda = 0.10;      ///< L2 regularization strength
     std::size_t iterations = 25; ///< alternating sweeps
     unsigned seed = 1234;      ///< factor initialization seed
+    /**
+     * Sweeps when refitting from a warm start (previous factors of
+     * the same app/corpus with a grown sample set): the factors begin
+     * near the optimum, so far fewer alternations reach it.
+     */
+    std::size_t warmIterations = 8;
 
     /** Validate ranges; calls fatal() on nonsense. */
     void validate() const;
+};
+
+/**
+ * Converged factors exported from a previous fit, used to initialize
+ * a refit of the same (corpus + app) matrix when only the observation
+ * mask grew.  Dimensions must match the new matrix exactly.
+ */
+struct AlsWarmStart
+{
+    std::vector<double> rowBias;
+    std::vector<double> colBias;
+    std::vector<double> u; ///< rows x rank, row-major
+    std::vector<double> v; ///< cols x rank, row-major
+
+    bool
+    matches(std::size_t rows, std::size_t cols, std::size_t rank) const
+    {
+        return rowBias.size() == rows && colBias.size() == cols &&
+               u.size() == rows * rank && v.size() == cols * rank;
+    }
 };
 
 /**
@@ -59,8 +85,22 @@ class AlsModel
   public:
     /**
      * Fit the model to the observed cells of @p data.
+     *
+     * @param warm Optional factors from a previous fit of the same
+     *        matrix shape; when they match, initialization is taken
+     *        from them (instead of the seeded random draw) and only
+     *        config.warmIterations sweeps run.  Per-row/column solves
+     *        inside each sweep run on the global thread pool; results
+     *        are bit-identical to a serial fit at any pool width.
      */
-    AlsModel(const MaskedMatrix &data, AlsConfig config = {});
+    AlsModel(const MaskedMatrix &data, AlsConfig config = {},
+             const AlsWarmStart *warm = nullptr);
+
+    /** Export the fitted factors for warm-starting a later refit. */
+    AlsWarmStart warmStart() const;
+
+    /** Sweeps actually run by the fit (warm fits run fewer). */
+    std::size_t sweepsRun() const { return sweeps_run; }
 
     /** Predicted value of cell (r, c), clamped to the observed range. */
     double predict(std::size_t r, std::size_t c) const;
@@ -87,9 +127,10 @@ class AlsModel
     std::vector<double> col_bias;
     std::vector<double> u; ///< n_rows x rank, row-major
     std::vector<double> v; ///< n_cols x rank, row-major
+    std::size_t sweeps_run = 0;
 
     double rawPredict(std::size_t r, std::size_t c) const;
-    void fit(const MaskedMatrix &data);
+    void fit(const MaskedMatrix &data, const AlsWarmStart *warm);
 };
 
 } // namespace psm::cf

@@ -1,8 +1,12 @@
 #include "estimator.hh"
 
+#include <algorithm>
+#include <chrono>
 #include <cmath>
+#include <memory>
 
 #include "util/logging.hh"
+#include "util/thread_pool.hh"
 
 namespace psm::cf
 {
@@ -82,11 +86,52 @@ UtilityEstimator::clearCorpus()
     log_hb_corpus = MaskedMatrix(0, 0);
 }
 
+std::pair<std::vector<std::size_t>, std::uint64_t>
+UtilityEstimator::sampleMask(const std::vector<Measurement> &samples)
+{
+    std::vector<std::size_t> mask;
+    mask.reserve(samples.size());
+    for (const Measurement &s : samples)
+        mask.push_back(s.column);
+    std::sort(mask.begin(), mask.end());
+    mask.erase(std::unique(mask.begin(), mask.end()), mask.end());
+
+    std::uint64_t hash = 0xcbf29ce484222325ULL; // FNV-1a
+    for (std::size_t c : mask) {
+        hash ^= static_cast<std::uint64_t>(c);
+        hash *= 0x100000001b3ULL;
+    }
+    return {std::move(mask), hash};
+}
+
 UtilitySurface
-UtilityEstimator::estimate(const std::vector<Measurement> &samples) const
+UtilityEstimator::estimate(const std::vector<Measurement> &samples,
+                           FitState *state, FitOutcome *outcome) const
 {
     if (samples.empty())
         fatal("cannot estimate a utility surface from zero samples");
+    if (outcome)
+        *outcome = FitOutcome{}; // each call reports only itself
+
+    auto [mask, mask_hash] = sampleMask(samples);
+    std::size_t fit_rows = power_corpus.rows() + 1;
+
+    if (state && state->valid && state->corpusRows == fit_rows &&
+        state->maskHash == mask_hash && state->mask == mask) {
+        // Same app, same corpus, same sampled columns: the refit
+        // would reproduce this surface modulo measurement noise.
+        if (outcome)
+            outcome->cacheHit = true;
+        return state->surface;
+    }
+
+    // Warm-start only when the previous mask strictly grew: the
+    // factors then start near the new optimum.
+    bool warm = state && state->valid &&
+                state->corpusRows == fit_rows &&
+                mask.size() > state->mask.size() &&
+                std::includes(mask.begin(), mask.end(),
+                              state->mask.begin(), state->mask.end());
 
     // Build working copies of the corpus with the new app appended as
     // a sparse row.
@@ -108,8 +153,24 @@ UtilityEstimator::estimate(const std::vector<Measurement> &samples) const
                      std::log(std::max(s.hbRate, hbFloor)));
     }
 
-    AlsModel power_model(power_m, als_config);
-    AlsModel hb_model(hb_m, als_config);
+    // The two factorizations share nothing; fit them concurrently.
+    auto fit_start = std::chrono::steady_clock::now();
+    std::unique_ptr<AlsModel> power_model;
+    std::unique_ptr<AlsModel> hb_model;
+    util::ThreadPool::global().invoke(
+        [&] {
+            power_model = std::make_unique<AlsModel>(
+                power_m, als_config,
+                warm ? &state->powerWarm : nullptr);
+        },
+        [&] {
+            hb_model = std::make_unique<AlsModel>(
+                hb_m, als_config, warm ? &state->hbWarm : nullptr);
+        });
+    double fit_seconds =
+        std::chrono::duration<double>(
+            std::chrono::steady_clock::now() - fit_start)
+            .count();
 
     UtilitySurface surface;
     surface.power.resize(n_cols);
@@ -120,9 +181,27 @@ UtilityEstimator::estimate(const std::vector<Measurement> &samples) const
             surface.power[c] = power_m.at(new_row, c);
             surface.hbRate[c] = std::exp(hb_m.at(new_row, c));
         } else {
-            surface.power[c] = power_model.predict(new_row, c);
-            surface.hbRate[c] = std::exp(hb_model.predict(new_row, c));
+            surface.power[c] = power_model->predict(new_row, c);
+            surface.hbRate[c] =
+                std::exp(hb_model->predict(new_row, c));
         }
+    }
+
+    if (outcome) {
+        outcome->cacheHit = false;
+        outcome->warmStarted = warm;
+        outcome->sweeps =
+            power_model->sweepsRun() + hb_model->sweepsRun();
+        outcome->fitSeconds = fit_seconds;
+    }
+    if (state) {
+        state->valid = true;
+        state->mask = std::move(mask);
+        state->maskHash = mask_hash;
+        state->corpusRows = fit_rows;
+        state->surface = surface;
+        state->powerWarm = power_model->warmStart();
+        state->hbWarm = hb_model->warmStart();
     }
     return surface;
 }

@@ -126,8 +126,9 @@ ClusterManager::replayEqual(const PowerTrace &caps)
         tel.count("cluster.cap_updates");
         for (auto &node : *pool)
             node.manager->setCap(share);
-        for (auto &node : *pool)
-            node.manager->run(caps.interval);
+        // Nodes are independent within an interval: step them in
+        // parallel (bit-identical to the serial loop).
+        pool->runAll(caps.interval, &tel);
     }
 
     ClusterResult result;

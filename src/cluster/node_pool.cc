@@ -1,7 +1,10 @@
 #include "node_pool.hh"
 
+#include <chrono>
+
 #include "perf/workloads.hh"
 #include "util/logging.hh"
+#include "util/thread_pool.hh"
 
 namespace psm::cluster
 {
@@ -9,9 +12,13 @@ namespace psm::cluster
 NodePool::NodePool(const NodePoolConfig &config)
 {
     psm_assert(config.servers >= 1);
-    node_list.reserve(static_cast<std::size_t>(config.servers));
-    for (int s = 0; s < config.servers; ++s) {
-        Node node;
+    auto n = static_cast<std::size_t>(config.servers);
+    node_list.resize(n);
+    // Building a managed node profiles the whole workload library
+    // into its corpus — the dominant setup cost.  Nodes share only
+    // immutable platform/workload tables, so build them in parallel.
+    util::ThreadPool::global().parallelFor(n, [&](std::size_t s) {
+        Node &node = node_list[s];
         node.server = std::make_unique<sim::Server>();
         if (config.esd)
             node.server->attachEsd(*config.esd);
@@ -26,7 +33,36 @@ NodePool::NodePool(const NodePoolConfig &config)
             if (config.seedWorkloadCorpus)
                 node.manager->seedCorpus(perf::workloadLibrary());
         }
-        node_list.push_back(std::move(node));
+    });
+}
+
+void
+NodePool::runAll(Tick duration, core::Telemetry *driver_tel)
+{
+    auto interval_start = std::chrono::steady_clock::now();
+    core::TelemetryShards shards(node_list.size());
+    util::ThreadPool::global().parallelFor(
+        node_list.size(), [&](std::size_t s) {
+            Node &node = node_list[s];
+            if (!node.manager)
+                return;
+            auto t0 = std::chrono::steady_clock::now();
+            node.manager->run(duration);
+            if (driver_tel) {
+                double secs = std::chrono::duration<double>(
+                                  std::chrono::steady_clock::now() - t0)
+                                  .count();
+                shards.shard(s).observe("cluster.node_step",
+                                        toTicks(secs));
+            }
+        });
+    if (driver_tel) {
+        shards.mergeInto(*driver_tel);
+        double secs =
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - interval_start)
+                .count();
+        driver_tel->observe("cluster.step", toTicks(secs));
     }
 }
 

@@ -82,6 +82,21 @@ class NodePool
         return node_list.end();
     }
 
+    /**
+     * Step every managed node forward by @p duration, in parallel on
+     * the global thread pool.  Nodes are fully independent within an
+     * interval (own server, manager, rng and telemetry bus), so the
+     * result is bit-identical to stepping them serially regardless of
+     * PSM_THREADS.
+     *
+     * @param driver_tel Optional driver bus: receives one
+     *        "cluster.node_step" wall-clock observation per node
+     *        (published race-free via per-node telemetry shards and
+     *        merged in node order) plus one "cluster.step" observation
+     *        for the whole interval.
+     */
+    void runAll(Tick duration, core::Telemetry *driver_tel = nullptr);
+
     /** Sum of every node's metered energy. */
     Joules totalEnergy() const;
 

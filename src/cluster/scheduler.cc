@@ -185,8 +185,9 @@ ClusterScheduler::run(Tick horizon)
         }
         placeWaitingJobs();
 
-        for (auto &node : pool)
-            node.manager->run(slice);
+        // Nodes are independent within a slice: step them in parallel
+        // (bit-identical to the serial loop).
+        pool.runAll(slice, &tel);
         clock += slice;
         harvestFinished();
 

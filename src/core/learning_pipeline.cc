@@ -35,6 +35,8 @@ LearningPipeline::seedCorpus(
                               corpus_rng);
         corpus.push_back(std::move(entry));
     }
+    // Cached fits were made against the old corpus; drop them.
+    fit_states.clear();
     rebuildServerAverageCurve();
     if (tel)
         tel->count("learning.corpus_apps", corpus.size());
@@ -142,13 +144,27 @@ LearningPipeline::finishCalibration(int id)
         if (e.name != a.name)
             estimator.addCorpusApp(e.name, e.power, e.hbRate);
     }
-    a.surface = estimator.estimate(samples);
+    cf::FitOutcome outcome;
+    a.surface = estimator.estimate(samples, &fit_states[a.name],
+                                   &outcome);
     a.calibration_ready = maxTick;
     a.pending_cols.clear();
     last_latency = srv.now() - a.calibration_started;
     if (tel) {
         tel->count("learning.calibrations_finished");
         tel->observe("learning.calibration", last_latency);
+        if (outcome.cacheHit) {
+            // Cache hits run zero ALS sweeps and never touch the
+            // fit timer.
+            tel->count("learning.surface_cache_hits");
+        } else {
+            tel->count("learning.als_fits");
+            tel->count("learning.als_sweeps", outcome.sweeps);
+            tel->observe("learning.als_fit",
+                         toTicks(outcome.fitSeconds));
+            if (outcome.warmStarted)
+                tel->count("learning.als_warm_starts");
+        }
     }
 }
 

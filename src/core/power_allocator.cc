@@ -278,8 +278,15 @@ PowerAllocator::esdPlan(const std::vector<const UtilityCurve *> &curves,
         hi += c->maxPower();
     }
 
-    for (Watts budget = lo; budget <= hi + 1e-9;
-         budget += cfg.esdSearchStep) {
+    // Walk the candidate budgets by integer bucket index rather than
+    // accumulating `budget += step`: repeated addition drifts, and
+    // near the boundary the drift could add or drop the final
+    // candidate depending on how the error happened to round.
+    auto buckets = static_cast<std::size_t>(
+        std::floor((hi - lo + 1e-9) / cfg.esdSearchStep)) + 1;
+    for (std::size_t bucket = 0; bucket < buckets; ++bucket) {
+        Watts budget =
+            lo + static_cast<double>(bucket) * cfg.esdSearchStep;
         Allocation alloc = allocate(curves, budget);
         if (!alloc.allScheduled())
             continue;

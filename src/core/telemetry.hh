@@ -28,6 +28,7 @@
 #include <iosfwd>
 #include <map>
 #include <string>
+#include <vector>
 
 #include "util/units.hh"
 
@@ -117,6 +118,39 @@ class Telemetry
     std::map<std::string, std::uint64_t> counter_map;
     std::map<std::string, TimerStat> timer_map;
     std::deque<DecisionRecord> decision_log;
+};
+
+/**
+ * Race-free publishing path for parallel loops: one private Telemetry
+ * shard per work index, merged into a target bus in index order after
+ * the loop joins.
+ *
+ * The bus itself stays unsynchronized (the common case is still a
+ * single-threaded control plane); parallel regions that want to
+ * publish grab shard(i) — which no other index touches — and the
+ * deterministic merge order keeps aggregated decision logs stable
+ * across worker counts.
+ */
+class TelemetryShards
+{
+  public:
+    explicit TelemetryShards(std::size_t n) : shard_list(n) {}
+
+    std::size_t size() const { return shard_list.size(); }
+
+    /** The private bus of work index @p ix. */
+    Telemetry &shard(std::size_t ix) { return shard_list.at(ix); }
+
+    /** Fold every shard into @p bus, in index order. */
+    void
+    mergeInto(Telemetry &bus) const
+    {
+        for (const Telemetry &s : shard_list)
+            bus.merge(s);
+    }
+
+  private:
+    std::vector<Telemetry> shard_list;
 };
 
 } // namespace psm::core

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * A fixed-size worker pool for the performance layer.
+ *
+ * The simulator's hot paths — stepping N independent cluster nodes
+ * through an interval, solving the per-row/per-column ridge systems
+ * of an ALS sweep — are embarrassingly parallel: every unit of work
+ * writes disjoint state.  The pool exploits that without giving up
+ * reproducibility: parallelFor() partitions an index range and each
+ * index writes only its own slice, so results are bit-identical to a
+ * serial run regardless of worker count or scheduling.
+ *
+ * Sizing: the process-wide pool (global()) reads PSM_THREADS, falling
+ * back to std::thread::hardware_concurrency().  With one worker every
+ * entry point runs inline on the caller — the serial baseline — so
+ * PSM_THREADS=1 recovers the pre-pool execution exactly.
+ *
+ * Nesting: a parallelFor() issued from inside a pool task runs inline
+ * on that worker.  This keeps nested parallel regions (a cluster step
+ * whose per-node control plane fits an ALS model) deadlock-free and
+ * bounds total concurrency at the pool width.
+ */
+
+#ifndef PSM_UTIL_THREAD_POOL_HH
+#define PSM_UTIL_THREAD_POOL_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace psm::util
+{
+
+/**
+ * Fixed-width pool with a shared task queue.  The caller of every
+ * blocking entry point (parallelFor, invoke) participates in draining
+ * the queue, so a pool of width W applies W threads of compute: W-1
+ * workers plus the caller.
+ */
+class ThreadPool
+{
+  public:
+    /**
+     * @param width Total concurrency (caller included).  0 picks the
+     *        environment default: PSM_THREADS, else
+     *        hardware_concurrency().
+     */
+    explicit ThreadPool(unsigned width = 0);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Total concurrency this pool applies (>= 1, caller included). */
+    unsigned width() const { return n_width; }
+
+    /**
+     * Run body(i) for every i in [0, n), partitioned into chunks and
+     * executed across the pool; returns when all n calls finished.
+     * Each index must write only state no other index touches — then
+     * the result is independent of the partitioning and identical to
+     * the serial loop.
+     */
+    void parallelFor(std::size_t n,
+                     const std::function<void(std::size_t)> &body);
+
+    /**
+     * Range flavour of parallelFor: body(begin, end) per chunk, for
+     * loops that want to hoist per-chunk scratch state.
+     */
+    void parallelForRange(
+        std::size_t n,
+        const std::function<void(std::size_t, std::size_t)> &body);
+
+    /** Run two independent tasks concurrently; returns when both did. */
+    void invoke(const std::function<void()> &a,
+                const std::function<void()> &b);
+
+    /**
+     * The process-wide pool, built on first use from PSM_THREADS /
+     * hardware_concurrency.
+     */
+    static ThreadPool &global();
+
+    /**
+     * Rebuild the process-wide pool at the given width (0 = the
+     * environment default).  Must not race with work on the old pool;
+     * intended for benches sweeping thread counts and for tests.
+     */
+    static void configureGlobal(unsigned width);
+
+    /** The width the environment asks for (PSM_THREADS or hardware). */
+    static unsigned envWidth();
+
+  private:
+    /** Completion state of one blocking call's set of tasks. */
+    struct Batch
+    {
+        std::mutex mtx;
+        std::condition_variable done;
+        std::size_t pending = 0;
+    };
+
+    unsigned n_width = 1;
+    std::vector<std::thread> workers;
+    std::deque<std::function<void()>> queue;
+    std::mutex mtx;
+    std::condition_variable cv_work; ///< workers: queue non-empty/stop
+    bool stopping = false;
+
+    void workerLoop();
+
+    /**
+     * Caller-side wait: drain queued tasks (own or foreign) until the
+     * batch's pending count reaches zero, then return.
+     */
+    void helpWhilePending(Batch &batch);
+};
+
+} // namespace psm::util
+
+#endif // PSM_UTIL_THREAD_POOL_HH
