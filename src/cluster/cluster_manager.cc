@@ -106,6 +106,7 @@ ClusterManager::buildNodes()
                             ? core::PolicyKind::UtilUnaware
                             : core::PolicyKind::AppResEsdAware;
     pc.seedBase = cfg.seed;
+    pc.faults = cfg.faults;
     if (cfg.policy == ClusterPolicy::EqualOurs)
         pc.esd = cfg.esd;
     pool.emplace(pc);

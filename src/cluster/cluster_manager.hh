@@ -79,6 +79,10 @@ struct ClusterConfig
     Watts offServerPower = 2.0;
     std::uint64_t seed = 11;
 
+    /** Pool-level fault plan (node crashes); per-server faults go in
+     * `manager.faults`. */
+    util::FaultPlanConfig faults;
+
     ClusterConfig();
 };
 

@@ -1,6 +1,8 @@
 #include "node_pool.hh"
 
+#include <algorithm>
 #include <chrono>
+#include <exception>
 
 #include "perf/workloads.hh"
 #include "util/logging.hh"
@@ -9,7 +11,30 @@
 namespace psm::cluster
 {
 
+namespace
+{
+
+/** Resolve the pool's fault plan: ambient env fallback + seed. */
+util::FaultPlanConfig
+poolFaultPlan(const NodePoolConfig &config)
+{
+    util::FaultPlanConfig fc = config.faults;
+    if (!fc.enabled()) {
+        double ambient = util::FaultPlanConfig::ambientRateFromEnv();
+        if (ambient > 0.0)
+            fc.setAmbientRate(ambient);
+    }
+    if (fc.seed == 0)
+        fc.seed = config.seedBase;
+    return fc;
+}
+
+} // namespace
+
 NodePool::NodePool(const NodePoolConfig &config)
+    // Stream 1 keeps pool-level rolls independent of the managers'
+    // (stream 0) even when they share a seed base.
+    : fault_injector(poolFaultPlan(config), 1)
 {
     psm_assert(config.servers >= 1);
     auto n = static_cast<std::size_t>(config.servers);
@@ -37,6 +62,20 @@ NodePool::NodePool(const NodePoolConfig &config)
 }
 
 void
+NodePool::isolate(Node &node, core::Telemetry &shard,
+                  const char *fault_counter)
+{
+    ++node.crashStreak;
+    // First crash retries next interval; consecutive crashes back
+    // off exponentially (1, 2, 4, capped at 8 intervals out).
+    node.cooldown = node.crashStreak <= 1
+                        ? 0
+                        : std::min(1 << (node.crashStreak - 2), 8);
+    shard.count(fault_counter);
+    shard.count("degraded.node_isolated");
+}
+
+void
 NodePool::runAll(Tick duration, core::Telemetry *driver_tel)
 {
     auto interval_start = std::chrono::steady_clock::now();
@@ -46,24 +85,60 @@ NodePool::runAll(Tick duration, core::Telemetry *driver_tel)
             Node &node = node_list[s];
             if (!node.manager)
                 return;
-            auto t0 = std::chrono::steady_clock::now();
-            node.manager->run(duration);
-            if (driver_tel) {
-                double secs = std::chrono::duration<double>(
-                                  std::chrono::steady_clock::now() - t0)
-                                  .count();
-                shards.shard(s).observe("cluster.node_step",
-                                        toTicks(secs));
+            core::Telemetry &shard = shards.shard(s);
+            ++node.attempts;
+            if (node.cooldown > 0) {
+                // Still backing off after a crash: sit this interval
+                // out.  The node's simulated clock simply does not
+                // advance — availability loss, not time travel.
+                --node.cooldown;
+                shard.count("degraded.node_skipped");
+                return;
             }
+            // The crash roll is keyed on per-node state only (the
+            // 1-based attempt counter; a crashed node's sim clock
+            // freezes, so clock-keyed rolls would repeat forever), so
+            // the schedule is identical at any thread count.
+            // NodeCrash schedule windows are therefore expressed in
+            // attempt numbers, not sim ticks.
+            bool crash = fault_injector.inject(
+                util::FaultKind::NodeCrash,
+                static_cast<Tick>(node.attempts),
+                (static_cast<std::uint64_t>(s) << 32) ^
+                    node.server->now(),
+                static_cast<std::int64_t>(s));
+            if (crash) {
+                isolate(node, shard, "fault.node_crash");
+                return;
+            }
+            auto t0 = std::chrono::steady_clock::now();
+            try {
+                node.manager->run(duration);
+            } catch (const std::exception &e) {
+                // A node whose control plane throws must not take the
+                // whole cluster step down: isolate it like a crash.
+                warn("node %zu faulted (%s); isolating", s, e.what());
+                isolate(node, shard, "fault.node_exception");
+                return;
+            }
+            if (node.crashStreak > 0) {
+                node.crashStreak = 0;
+                shard.count("degraded.node_restarted");
+            }
+            double secs = std::chrono::duration<double>(
+                              std::chrono::steady_clock::now() - t0)
+                              .count();
+            shard.observe("cluster.node_step", toTicks(secs));
         });
-    if (driver_tel) {
-        shards.mergeInto(*driver_tel);
-        double secs =
-            std::chrono::duration<double>(
-                std::chrono::steady_clock::now() - interval_start)
-                .count();
-        driver_tel->observe("cluster.step", toTicks(secs));
-    }
+    // Isolation/fault counters must survive even when the driver does
+    // not collect telemetry: fall back to the pool's own bus (merged
+    // into aggregateTelemetry()).
+    core::Telemetry &sink = driver_tel ? *driver_tel : pool_tel;
+    shards.mergeInto(sink);
+    double secs = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - interval_start)
+                      .count();
+    sink.observe("cluster.step", toTicks(secs));
 }
 
 Joules
@@ -79,6 +154,7 @@ core::Telemetry
 NodePool::aggregateTelemetry() const
 {
     core::Telemetry cluster;
+    cluster.merge(pool_tel);
     for (const Node &node : node_list) {
         if (node.manager)
             cluster.merge(node.manager->telemetry());

@@ -22,6 +22,7 @@
 #include "core/telemetry.hh"
 #include "esd/battery.hh"
 #include "sim/server.hh"
+#include "util/fault.hh"
 #include "util/units.hh"
 
 namespace psm::cluster
@@ -47,6 +48,16 @@ struct NodePoolConfig
     Watts serverCap = 0.0;
     /** Seed each manager's CF corpus from the workload library. */
     bool seedWorkloadCorpus = true;
+    /**
+     * Pool-level fault plan: only the node-crash rate and NodeCrash
+     * schedule entries (target = node index) are consulted here;
+     * per-server faults belong in `manager.faults`.  `faults.seed ==
+     * 0` derives the roll seed from `seedBase`.  NodeCrash rolls are
+     * keyed on the node's 1-based runAll() attempt counter (a crashed
+     * node's sim clock freezes), so schedule windows for NodeCrash are
+     * expressed in attempt numbers, not sim ticks.
+     */
+    util::FaultPlanConfig faults;
 };
 
 /**
@@ -60,6 +71,13 @@ class NodePool
     {
         std::unique_ptr<sim::Server> server;
         std::unique_ptr<core::ServerManager> manager; ///< null if raw
+
+        // Crash-isolation bookkeeping (driver-side state, not
+        // simulated hardware): a crashed node sits out intervals
+        // with exponential backoff, then rejoins.
+        int crashStreak = 0;        ///< consecutive faulted runs
+        int cooldown = 0;           ///< intervals left to sit out
+        std::uint64_t attempts = 0; ///< runAll() attempts (roll salt)
     };
 
     explicit NodePool(const NodePoolConfig &config);
@@ -102,12 +120,26 @@ class NodePool
 
     /**
      * Cluster-scope telemetry: every managed node's bus folded into
-     * one (counters and timers add up, decision records append).
+     * one (counters and timers add up, decision records append),
+     * plus the pool's own isolation counters when no driver bus
+     * collected them.
      */
     core::Telemetry aggregateTelemetry() const;
 
+    /** The pool's fault oracle (node-crash rolls). */
+    const util::FaultInjector &faultInjector() const
+    {
+        return fault_injector;
+    }
+
   private:
     std::vector<Node> node_list;
+    util::FaultInjector fault_injector;
+    /** Shard sink when runAll is called without a driver bus. */
+    core::Telemetry pool_tel;
+
+    void isolate(Node &node, core::Telemetry &shard,
+                 const char *fault_counter);
 };
 
 } // namespace psm::cluster

@@ -45,7 +45,11 @@ Accountant::notifyArrival(int app_id)
     ev.kind = EventKind::Arrival;
     ev.appId = app_id;
     queued.push_back(ev);
-    tracked.emplace(app_id, TrackedApp{});
+    // Reset, don't keep: a reused app id (slot recycled after a kill
+    // or migration) must not inherit the previous tenant's state — a
+    // stale `reported_finished` would suppress the next E3 and a
+    // stale `allocated` would mis-arm drift detection.
+    tracked.insert_or_assign(app_id, TrackedApp{});
 }
 
 void
@@ -73,9 +77,23 @@ Accountant::poll(const sim::Server &server)
     for (auto &ev : events)
         ev.when = now;
 
+    std::vector<int> vanished;
     for (auto &[id, state] : tracked) {
-        if (!server.hasApp(id))
+        if (!server.hasApp(id)) {
+            // The app left the server without finishing (killed,
+            // crashed, migrated away).  Emit the synthetic E3 exactly
+            // once and drop the entry; skipping it forever leaked the
+            // entry and silently swallowed the departure.
+            if (!state.reported_finished) {
+                AccountantEvent ev;
+                ev.kind = EventKind::Departure;
+                ev.when = now;
+                ev.appId = id;
+                events.push_back(ev);
+            }
+            vanished.push_back(id);
             continue;
+        }
         const sim::Application &app = server.app(id);
 
         // E3: completion.
@@ -98,6 +116,11 @@ Accountant::poll(const sim::Server &server)
             continue;
         }
         Watts observed = server.observedAppPower(id);
+        if (!std::isfinite(observed)) {
+            // A garbage sensor reading must not masquerade as drift.
+            state.drift_since = maxTick;
+            continue;
+        }
         double deviation = std::abs(observed - state.allocated) /
                            state.allocated;
         if (deviation > cfg.driftThreshold) {
@@ -119,6 +142,8 @@ Accountant::poll(const sim::Server &server)
             state.drift_since = maxTick;
         }
     }
+    for (int id : vanished)
+        tracked.erase(id);
     return events;
 }
 

@@ -43,6 +43,47 @@ ControlLoop::updateCapTrim()
                   coord.mode() == CoordinationMode::Time;
     Joules energy = srv.meter().totalEnergy();
     Tick meter_now = srv.now();
+
+    // Graceful degradation: a meter read can fail (injected fault or
+    // genuinely non-finite aggregate).  Hold the last-known-good
+    // baselines and skip the trim update — a bogus interval average
+    // must not steer the integral loop.  Energy is cumulative, so on
+    // recovery the delta over the whole outage still yields a correct
+    // interval average.
+    bool nan_read = !std::isfinite(energy) ||
+                    (faults && faults->inject(util::FaultKind::MeterNan,
+                                              meter_now));
+    bool stale_read =
+        !nan_read && faults &&
+        faults->inject(util::FaultKind::MeterStale, meter_now);
+    if (nan_read || stale_read) {
+        if (tel) {
+            tel->count(nan_read ? "fault.meter_nan"
+                                : "fault.meter_stale");
+            tel->count("degraded.meter_fallback");
+        }
+        if (meter_stale_since == maxTick)
+            meter_stale_since = meter_now;
+        bool watchdog_changed = false;
+        if (meter_now - meter_stale_since >= cfg.meterWatchdog) {
+            // Staleness watchdog: after a prolonged outage, bleed the
+            // trim back toward the open-loop (guard-band only)
+            // budget so a stale correction cannot pin the server at a
+            // wrong operating point indefinitely.
+            Watts before = cap_trim;
+            cap_trim *= 0.8;
+            if (tel)
+                tel->count("degraded.meter_watchdog");
+            watchdog_changed = std::abs(cap_trim - before) > 0.25;
+        }
+        return watchdog_changed;
+    }
+    if (meter_stale_since != maxTick) {
+        meter_stale_since = maxTick;
+        if (tel)
+            tel->count("degraded.meter_recovered");
+    }
+
     bool changed = false;
     if (cap > 0.0 && meter_now > last_meter_time) {
         Watts interval_avg = (energy - last_meter_energy) /
@@ -124,9 +165,14 @@ ControlLoop::poll()
             trigger = eventKindName(ev.kind);
             break;
           case EventKind::Departure:
+            // Synthetic E3s (app killed / vanished without finishing)
+            // arrive with the server entry already gone.
+            if (!srv.hasApp(ev.appId) && tel)
+                tel->count("degraded.app_reaped");
             delegate.onDeparture(ev);
             acct.forget(ev.appId);
-            srv.remove(ev.appId);
+            if (srv.hasApp(ev.appId))
+                srv.remove(ev.appId);
             need_realloc = true;
             trigger = eventKindName(ev.kind);
             break;

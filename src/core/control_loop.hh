@@ -21,6 +21,7 @@
 #include "coordinator.hh"
 #include "sim/server.hh"
 #include "telemetry.hh"
+#include "util/fault.hh"
 #include "util/units.hh"
 
 namespace psm::core
@@ -36,6 +37,10 @@ struct ControlLoopConfig
     /** Spatial-mode steady-state refresh period (RAPL limit and trim
      * updates without a triggering event). */
     Tick refreshPeriod = toTicks(0.5);
+    /** How long the meter may stay unreadable before the staleness
+     * watchdog starts bleeding the integral trim back toward the
+     * open-loop budget. */
+    Tick meterWatchdog = toTicks(1.0);
     AccountantConfig accountant;
 };
 
@@ -82,6 +87,15 @@ class ControlLoop
     /** Poll if a control period has elapsed (call once per step). */
     void maybePoll();
 
+    /** Install the fault oracle consulted before each meter read. */
+    void setFaultInjector(const util::FaultInjector *injector)
+    {
+        faults = injector;
+    }
+
+    /** First tick of the current meter outage (maxTick when healthy). */
+    Tick meterStaleSince() const { return meter_stale_since; }
+
   private:
     sim::Server &srv;
     Coordinator &coord;
@@ -90,11 +104,13 @@ class ControlLoop
     Accountant acct;
     Telemetry *tel;
 
+    const util::FaultInjector *faults = nullptr;
     Tick next_control = 0;
     Tick next_refresh = 0;
     Watts cap_trim = 0.0; ///< integral cap-adherence correction
     Joules last_meter_energy = 0.0;
     Tick last_meter_time = 0;
+    Tick meter_stale_since = maxTick;
     std::vector<AccountantEvent> event_log;
 
     void poll();

@@ -161,7 +161,20 @@ Coordinator::coordinateEsd(sim::Server &server,
         return;
     }
     psm_assert(off_fraction >= 0.0 && off_fraction < 1.0);
-    psm_assert(server.hasEsd());
+    if (!server.hasEsd()) {
+        // The ESD vanished between planning and actuation (fault,
+        // maintenance pull).  Demote to time multiplexing with equal
+        // shares rather than crash: same duty structure, just no
+        // battery to bridge the OFF phases.
+        if (tel)
+            tel->count("degraded.esd_to_time");
+        std::vector<double> shares(directives.size(),
+                                   1.0 / static_cast<double>(
+                                             directives.size()));
+        coordinateTime(server, std::move(directives),
+                       std::move(shares));
+        return;
+    }
 
     enterMode(CoordinationMode::EsdAssisted);
     esd_directives = std::move(directives);
@@ -186,8 +199,22 @@ Tick
 Coordinator::slotLength(std::size_t ix) const
 {
     psm_assert(ix < slot_shares.size());
-    return static_cast<Tick>(slot_shares[ix] *
-                             static_cast<double>(cfg.dutyPeriod));
+    // Cumulative rounding: slot ix spans the tick range
+    // [floor(P*c_ix), floor(P*c_{ix+1})) of the duty period, where
+    // c_ix is the cumulative share before slot ix.  Lengths therefore
+    // sum to exactly dutyPeriod — the last slot absorbs the residual
+    // ticks that independent per-slot truncation used to drop (up to
+    // slots.size()-1 ticks per period).
+    double before = 0.0;
+    for (std::size_t i = 0; i < ix; ++i)
+        before += slot_shares[i];
+    double period = static_cast<double>(cfg.dutyPeriod);
+    Tick lo = static_cast<Tick>(before * period);
+    Tick hi = ix + 1 == slot_shares.size()
+                  ? cfg.dutyPeriod
+                  : static_cast<Tick>((before + slot_shares[ix]) *
+                                      period);
+    return hi > lo ? hi - lo : 0;
 }
 
 int
@@ -214,21 +241,40 @@ Coordinator::advance(sim::Server &server)
         std::size_t guard = 0;
         while (now - slot_started >= slotLength(slot_ix) &&
                guard++ <= slots.size()) {
+            Tick len = slotLength(slot_ix);
             applyDirective(server, slots[slot_ix], false);
-            slot_started = now;
+            // Carry the slot boundary instead of resetting it to
+            // `now`: resetting discarded the overshoot past the
+            // boundary, so every rotation started late and the error
+            // accumulated across duty periods.
+            slot_started += len;
             slot_ix = (slot_ix + 1) % slots.size();
             applyDirective(server, slots[slot_ix], true);
             if (tel)
                 tel->count("coordinator.slot_rotations");
-            if (slotLength(slot_ix) > 0)
-                break;
         }
         return;
       }
 
       case CoordinationMode::EsdAssisted: {
         const esd::Battery *bat = server.battery();
-        psm_assert(bat != nullptr);
+        if (bat == nullptr) {
+            // ESD lost mid-duty-cycle: fall back to time slicing the
+            // surviving directives until the next replan (which will
+            // see hasEsd() == false and plan without the battery).
+            if (tel)
+                tel->count("degraded.esd_to_time");
+            std::vector<Directive> ds = std::move(esd_directives);
+            esd_directives.clear();
+            if (ds.empty()) {
+                idle(server);
+                return;
+            }
+            std::vector<double> shares(
+                ds.size(), 1.0 / static_cast<double>(ds.size()));
+            coordinateTime(server, std::move(ds), std::move(shares));
+            return;
+        }
         Tick off_len = static_cast<Tick>(
             esd_off_fraction * static_cast<double>(cfg.dutyPeriod));
         Tick on_len = cfg.dutyPeriod - off_len;

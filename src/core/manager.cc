@@ -42,14 +42,32 @@ ServerManager::controlConfig(const ManagerConfig &cfg)
     return cc;
 }
 
+ManagerConfig
+ServerManager::normalizedConfig(ManagerConfig cfg)
+{
+    // An explicitly configured plan wins; otherwise the ambient
+    // PSM_FAULT_RATE environment knob (used by the fault-rate ctest
+    // job) arms the injector for every manager in the process.
+    if (!cfg.faults.enabled()) {
+        double ambient = util::FaultPlanConfig::ambientRateFromEnv();
+        if (ambient > 0.0)
+            cfg.faults.setAmbientRate(ambient);
+    }
+    if (cfg.faults.seed == 0)
+        cfg.faults.seed = cfg.seed;
+    return cfg;
+}
+
 ServerManager::ServerManager(sim::Server &server, ManagerConfig config)
-    : srv(server), cfg(std::move(config)), coord(cfg.coordinator),
+    : srv(server), cfg(normalizedConfig(std::move(config))),
+      injector(cfg.faults), coord(cfg.coordinator),
       pipeline(server, learningConfig(cfg), &tel),
       selector(server.platform(), cfg.allocator, &tel),
       control(server, coord, controlConfig(cfg), *this, &tel),
       actuator(server, coord, control.accountant(), &tel)
 {
     coord.setTelemetry(&tel);
+    control.setFaultInjector(&injector);
     if (policyUsesEsd(cfg.policy) && !srv.hasEsd()) {
         warn("policy %s selected but the server has no ESD; it will "
              "fall back to temporal coordination",
@@ -115,7 +133,10 @@ ServerManager::onDeparture(const AccountantEvent &ev)
     AppRecord &r = it->second;
     r.done = true;
     r.finishedAt = ev.when;
-    r.beats = srv.app(ev.appId).heartbeats().total();
+    // A synthetic E3 (killed app) arrives after the server entry is
+    // gone; its final heartbeat count was harvested at kill time.
+    if (srv.hasApp(ev.appId))
+        r.beats = srv.app(ev.appId).heartbeats().total();
     pipeline.forget(ev.appId);
     actuator.forget(ev.appId);
 }
@@ -173,6 +194,16 @@ ServerManager::reallocate(const std::string &trigger)
     in.hasEsd = srv.hasEsd();
     if (srv.hasEsd())
         in.esd = &srv.esdConfig();
+    // Knob-actuation fault: when the roll says per-app actuation is
+    // stuck this decision, tell the selector so it demotes to
+    // hardware RAPL enforcement.  Only meaningful when a utility
+    // plan with ready curves would otherwise be chosen.
+    if (policyAppAware(cfg.policy) && cap > 0.0 && !ready.empty() &&
+        injector.inject(util::FaultKind::ActuationStuck, srv.now(),
+                        realloc_count)) {
+        in.knobsAvailable = false;
+        tel.count("fault.actuation_stuck");
+    }
     if (pipeline.serverAverageCurve())
         in.serverAverage = &*pipeline.serverAverageCurve();
 
@@ -222,10 +253,66 @@ ServerManager::reallocate(const std::string &trigger)
 }
 
 void
+ServerManager::maybeInjectFaults()
+{
+    if (!injector.enabled())
+        return;
+    Tick now = srv.now();
+
+    // Timed ESD restoration fires on its own deadline.
+    if (now >= esd_restore_at) {
+        esd_restore_at = maxTick;
+        srv.setEsdAvailable(true);
+        tel.count("degraded.esd_restored");
+        reallocate("esd-restored");
+    }
+
+    // Fault rolls happen once per control period (the rates are
+    // per-poll probabilities), keyed purely on (seed, kind, tick) so
+    // the schedule replays identically at any thread count.
+    if (now < next_fault_check)
+        return;
+    next_fault_check = now + cfg.controlPeriod;
+
+    if (srv.esdInstalled() && srv.esdAvailable()) {
+        if (injector.inject(util::FaultKind::EsdLoss, now)) {
+            srv.setEsdAvailable(false);
+            esd_restore_at = now + injector.config().esdOutage;
+            tel.count("fault.esd_loss");
+            tel.count("degraded.esd_unavailable");
+            // Replan immediately without the battery; the coordinator
+            // additionally demotes mid-duty-cycle on its next advance
+            // if it was in EsdAssisted mode.
+            reallocate("fault-esd-loss");
+        } else if (injector.inject(util::FaultKind::EsdFade, now)) {
+            srv.installedBattery()->fadeCapacity(
+                injector.config().fadeFactor);
+            tel.count("fault.esd_fade");
+            tel.count("degraded.esd_capacity");
+        }
+    }
+
+    for (int id : activeIds()) {
+        if (!injector.inject(util::FaultKind::AppKill, now,
+                             static_cast<std::uint64_t>(id), id))
+            continue;
+        tel.count("fault.app_kill");
+        auto it = app_records.find(id);
+        if (it != app_records.end())
+            it->second.beats = srv.app(id).heartbeats().total();
+        // Departure without finished(): the Accountant's next poll
+        // emits the synthetic E3, which retires the record, forgets
+        // pipeline/actuator state and replans.
+        srv.remove(id);
+    }
+}
+
+void
 ServerManager::run(Tick duration)
 {
     Tick end = srv.now() + duration;
     while (srv.now() < end) {
+        maybeInjectFaults();
         control.maybePoll();
         coord.advance(srv);
         srv.step();

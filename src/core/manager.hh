@@ -37,6 +37,7 @@
 #include "sim/server.hh"
 #include "telemetry.hh"
 #include "utility_curve.hh"
+#include "util/fault.hh"
 #include "util/units.hh"
 
 namespace psm::core
@@ -76,6 +77,16 @@ struct ManagerConfig
     cf::AlsConfig als;
     cf::SamplingStrategy sampling = cf::SamplingStrategy::Stratified;
     AccountantConfig accountant;
+
+    /**
+     * Fault plan for this server.  When no rates are configured, the
+     * `PSM_FAULT_RATE` environment variable (an ambient per-poll
+     * probability) arms the injector instead; `faults.seed == 0`
+     * derives the roll seed from `seed` below, so one manager seed
+     * reproduces both the workload and the fault schedule.
+     */
+    util::FaultPlanConfig faults;
+
     std::uint64_t seed = 7;
 };
 
@@ -121,6 +132,12 @@ class ServerManager : private ControlLoop::Delegate
 
     /** The learning layer (read access for tests and tools). */
     const LearningPipeline &learning() const { return pipeline; }
+
+    /** The fault oracle this manager rolls against. */
+    const util::FaultInjector &faultInjector() const
+    {
+        return injector;
+    }
 
     /**
      * Seed the collaborative filtering corpus with exhaustively
@@ -186,6 +203,7 @@ class ServerManager : private ControlLoop::Delegate
     sim::Server &srv;
     ManagerConfig cfg;
     Telemetry tel;
+    util::FaultInjector injector;
     Coordinator coord;
     LearningPipeline pipeline;
     PlanSelector selector;
@@ -194,6 +212,8 @@ class ServerManager : private ControlLoop::Delegate
 
     Tick last_realloc_latency = 0;
     std::size_t realloc_count = 0;
+    Tick next_fault_check = 0;
+    Tick esd_restore_at = maxTick; ///< pending ESD restoration time
 
     std::map<int, AppRecord> app_records;
 
@@ -209,8 +229,12 @@ class ServerManager : private ControlLoop::Delegate
     /** Active apps in admission order. */
     std::vector<int> activeIds() const;
 
+    /** Roll and apply injected faults (once per control period). */
+    void maybeInjectFaults();
+
     static LearningConfig learningConfig(const ManagerConfig &cfg);
     static ControlLoopConfig controlConfig(const ManagerConfig &cfg);
+    static ManagerConfig normalizedConfig(ManagerConfig cfg);
 };
 
 } // namespace psm::core

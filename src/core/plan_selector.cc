@@ -115,6 +115,18 @@ PlanSelector::selectUtilityAware(const PlanInputs &in) const
         return d;
     }
 
+    if (!in.knobsAvailable) {
+        // Degradation ladder: per-app knob actuation is failing, so
+        // utility-shaped plans (which rely on software operating
+        // points) cannot be enforced.  Demote to the fair RAPL split
+        // — hardware enforcement that needs no app cooperation.
+        if (tel)
+            tel->count("degraded.knobs_to_rapl");
+        PlanDecision fair = fairSplit(usable, in.curves.size(), true);
+        fair.usableBudget = usable;
+        return fair;
+    }
+
     // The planning allocator (temporal/ESD plans) keeps the
     // configured reservation behaviour; the spatial DP toggles it per
     // policy: App-Aware's RAPL enforcement can clock-modulate below
@@ -159,6 +171,11 @@ PlanSelector::selectUtilityAware(const PlanInputs &in) const
             d.esd = std::move(plan);
             return d;
         }
+    } else if (policyUsesEsd(in.policy) && !in.hasEsd && tel) {
+        // The policy would consider ESD plans but the device is gone
+        // (fault or never installed): continue down the ladder to the
+        // temporal plan.
+        tel->count("degraded.esd_to_time");
     }
 
     TemporalPlan plan = planner.temporalPlan(

@@ -70,6 +70,10 @@ struct PlanInputs
     std::size_t appCount = 0;         ///< all active apps
     bool hasEsd = false;
     const esd::BatteryConfig *esd = nullptr;
+    /** False when per-app knob actuation is currently failing: the
+     * selector demotes to hardware RAPL enforcement, which needs no
+     * per-app software knobs. */
+    bool knobsAvailable = true;
     /** Corpus-average curve (Server+Res-Aware baseline). */
     const UtilityCurve *serverAverage = nullptr;
 };

@@ -137,6 +137,14 @@ Battery::rest(Tick dt)
     stored_energy *= keep;
 }
 
+void
+Battery::fadeCapacity(double factor)
+{
+    psm_assert(factor > 0.0 && factor <= 1.0);
+    cfg.capacity *= factor;
+    stored_energy = std::min(stored_energy, cfg.capacity);
+}
+
 Tick
 Battery::sustainTime(Watts delivered) const
 {

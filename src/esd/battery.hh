@@ -103,6 +103,14 @@ class Battery
     void rest(Tick dt);
 
     /**
+     * Permanently shrink the usable capacity to @p factor of its
+     * current value (cell aging / failure), clamping stored energy to
+     * the new ceiling.  The planner sees the faded capacity through
+     * config() on its next decision.
+     */
+    void fadeCapacity(double factor);
+
+    /**
      * Longest duration the battery can sustain @p delivered watts of
      * output from its current charge; maxTick when delivered <= 0.
      */

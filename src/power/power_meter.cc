@@ -1,6 +1,7 @@
 #include "power_meter.hh"
 
 #include <algorithm>
+#include <cmath>
 
 #include "util/logging.hh"
 
@@ -15,9 +16,18 @@ PowerMeter::PowerMeter(Tick history_resolution)
 void
 PowerMeter::push(Tick now, Tick dt, Watts power, Watts cap)
 {
-    psm_assert(power >= 0.0);
     if (dt == 0)
         return;
+
+    // A real sensor occasionally returns garbage (NaN, negative
+    // counter wrap).  Substitute the last accepted sample rather than
+    // poison every downstream aggregate; droppedSamples() exposes how
+    // often this happened.
+    if (!std::isfinite(power) || power < 0.0) {
+        ++dropped;
+        power = last_good;
+    }
+    last_good = power;
 
     stats.push(power, dt);
 
@@ -54,6 +64,8 @@ PowerMeter::reset()
     violation_time = 0;
     worst_overshoot = 0.0;
     violation_energy = 0.0;
+    last_good = 0.0;
+    dropped = 0;
     samples.clear();
 }
 

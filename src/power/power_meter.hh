@@ -72,12 +72,20 @@ class PowerMeter
     /** Downsampled timeline for plotting. */
     const std::vector<PowerSample> &history() const { return samples; }
 
+    /**
+     * Samples that arrived non-finite or negative and were replaced
+     * by the last accepted reading.
+     */
+    std::size_t droppedSamples() const { return dropped; }
+
   private:
     Tick resolution;
     TimeWeightedStats stats;
     Tick violation_time = 0;
     Watts worst_overshoot = 0.0;
     Joules violation_energy = 0.0;
+    Watts last_good = 0.0;
+    std::size_t dropped = 0;
     std::vector<PowerSample> samples;
 };
 

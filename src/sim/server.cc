@@ -139,11 +139,17 @@ Server::attachEsd(const esd::BatteryConfig &esd_config)
 esd::Battery *
 Server::battery()
 {
-    return battery_state ? &battery_state->battery : nullptr;
+    return hasEsd() ? &battery_state->battery : nullptr;
 }
 
 const esd::Battery *
 Server::battery() const
+{
+    return hasEsd() ? &battery_state->battery : nullptr;
+}
+
+esd::Battery *
+Server::installedBattery()
 {
     return battery_state ? &battery_state->battery : nullptr;
 }
@@ -243,7 +249,7 @@ Server::step()
             result.finished.push_back(id);
     }
 
-    if (battery_state) {
+    if (battery_state && esd_available) {
         esd::ChargeController controller(battery_state->battery);
         Watts demand = result.breakdown.serverPower();
         esd::EsdFlow planned = controller.plan(demand, power_cap,
@@ -251,6 +257,10 @@ Server::step()
         esd::EsdFlow actual = controller.apply(planned, step_ticks);
         result.breakdown.esdCharge = actual.charge;
         result.breakdown.esdDischarge = actual.discharge;
+    } else if (battery_state) {
+        // Installed but unavailable: no controlled flows, the cells
+        // still self-discharge.
+        battery_state->battery.rest(step_ticks);
     }
 
     power_meter.push(clock, step_ticks, result.breakdown.wallPower(),

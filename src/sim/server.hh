@@ -110,9 +110,36 @@ class Server
 
     /** Attach an energy storage device (replaces any existing one). */
     void attachEsd(const esd::BatteryConfig &esd_config);
-    bool hasEsd() const { return battery_state.has_value(); }
+
+    /**
+     * An ESD is usable when one is installed AND currently available.
+     * Fault injection can mark an installed ESD unavailable (BMS
+     * fault, maintenance pull); while unavailable the management
+     * plane sees hasEsd() == false and battery() == nullptr, and the
+     * physical battery only self-discharges.
+     */
+    bool hasEsd() const
+    {
+        return battery_state.has_value() && esd_available;
+    }
+
+    /** True when an ESD is physically installed (even if faulted). */
+    bool esdInstalled() const { return battery_state.has_value(); }
+
+    /** Mark the installed ESD available/unavailable (fault hook). */
+    void setEsdAvailable(bool available) { esd_available = available; }
+    bool esdAvailable() const { return esd_available; }
+
     esd::Battery *battery();
     const esd::Battery *battery() const;
+
+    /**
+     * The physical battery regardless of availability (nullptr only
+     * when none is installed) — for fault hooks such as capacity
+     * fade, which age the hardware whether or not the management
+     * plane can reach it.
+     */
+    esd::Battery *installedBattery();
 
     /** Configuration of the attached ESD (requires hasEsd()). */
     const esd::BatteryConfig &esdConfig() const
@@ -176,6 +203,7 @@ class Server
     Tick clock = 0;
     Watts power_cap = 0.0;
     bool esd_charge = false;
+    bool esd_available = true;
     bool was_active = false;
     Tick pc6_time = 0;
     std::size_t pc6_wakes = 0;

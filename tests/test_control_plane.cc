@@ -448,5 +448,42 @@ TEST(ControlPlane, ScriptedEventsLandOnTheTelemetryBus)
     EXPECT_GE(tel.counter("coordinator.enter.space"), 1u);
 }
 
+TEST(ControlPlane, KilledAppIsReapedAndReplanned)
+{
+    sim::Server server;
+    server.setCap(100.0);
+    ManagerConfig cfg;
+    cfg.policy = PolicyKind::AppResAware;
+    cfg.oracleUtilities = true;
+    ServerManager manager(server, cfg);
+    int victim = manager.addApp(workload("kmeans"));
+    int survivor = manager.addApp(workload("stream"));
+    manager.run(toTicks(1.0));
+
+    // Kill the first app out from under the manager: it departs
+    // without ever calling finished().
+    server.remove(victim);
+    manager.run(toTicks(1.0));
+
+    const Telemetry &tel = manager.telemetry();
+    EXPECT_GE(tel.counter("event.E3-departure"), 1u);
+    EXPECT_EQ(tel.counter("degraded.app_reaped"), 1u);
+    bool saw_e3 = false;
+    for (const AccountantEvent &ev : manager.eventLog())
+        saw_e3 |=
+            ev.kind == EventKind::Departure && ev.appId == victim;
+    EXPECT_TRUE(saw_e3);
+
+    // The victim's record closed with its pre-kill progress; the
+    // survivor keeps running under a fresh plan.
+    auto records = manager.records();
+    ASSERT_EQ(records.size(), 2u);
+    EXPECT_TRUE(records[0].done);
+    EXPECT_GT(records[0].beats, 0.0);
+    EXPECT_FALSE(records[1].done);
+    EXPECT_TRUE(server.hasApp(survivor));
+    EXPECT_TRUE(manager.anyAppRunning());
+}
+
 } // namespace
 } // namespace psm::core

@@ -300,6 +300,67 @@ TEST_F(CoordinatorTest, ModeTransitionsKeepSlotAndPhaseInvariants)
     EXPECT_EQ(tel.counter("coordinator.enter.idle"), 1u);
 }
 
+TEST_F(CoordinatorTest, EsdRequestWithoutBatteryDegradesToTime)
+{
+    // Planning raced an ESD pull: the plan says "use the battery" but
+    // the server has none.  The coordinator must demote to alternate
+    // duty cycling instead of asserting.
+    Telemetry tel;
+    coord.setTelemetry(&tel);
+    Directive da{a, defaultPlatform().maxSetting(), false, 0.0};
+    Directive db{b, defaultPlatform().maxSetting(), false, 0.0};
+    coord.coordinateEsd(server, {da, db}, 0.5);
+    EXPECT_EQ(coord.mode(), CoordinationMode::Time);
+    EXPECT_EQ(tel.counter("degraded.esd_to_time"), 1u);
+    // The demoted schedule still makes progress.
+    EXPECT_NE(coord.activeSlot(), -1);
+    EXPECT_TRUE(server.app(a).running() || server.app(b).running());
+}
+
+TEST_F(CoordinatorTest, EsdBatteryLossMidRunDemotesToTime)
+{
+    server.attachEsd(esd::leadAcidUps());
+    Telemetry tel;
+    coord.setTelemetry(&tel);
+    Directive da{a, defaultPlatform().maxSetting(), false, 0.0};
+    Directive db{b, defaultPlatform().maxSetting(), false, 0.0};
+    coord.coordinateEsd(server, {da, db}, 0.5);
+    EXPECT_EQ(coord.mode(), CoordinationMode::EsdAssisted);
+
+    // The battery drops out mid-duty-cycle (fault injection or a
+    // maintenance pull): the next advance demotes, no crash.
+    server.setEsdAvailable(false);
+    coord.advance(server);
+    EXPECT_EQ(coord.mode(), CoordinationMode::Time);
+    EXPECT_EQ(tel.counter("degraded.esd_to_time"), 1u);
+}
+
+TEST_F(CoordinatorTest, SlotRotationKeepsPeriodOverLongHorizons)
+{
+    CoordinatorConfig cfg;
+    cfg.dutyPeriod = toTicks(0.1);
+    Coordinator c(cfg);
+    Telemetry tel;
+    c.setTelemetry(&tel);
+    Directive da{a, defaultPlatform().maxSetting(), false, 0.0};
+    Directive db{b, defaultPlatform().maxSetting(), false, 0.0};
+    // Shares that do not align with the 10 ms step: every rotation
+    // overshoots its boundary, and the overshoot must carry into the
+    // next slot instead of stretching the period.
+    c.coordinateTime(server, {da, db}, {0.33, 0.67});
+
+    const Tick horizon = toTicks(20.0); // 200 duty periods
+    while (server.now() < horizon) {
+        c.advance(server);
+        server.step();
+    }
+    // Two rotations per duty period.  The drifting implementation
+    // (slot_started reset to `now`) stretched each period by a full
+    // step and managed only ~363 rotations over this horizon.
+    EXPECT_GE(tel.counter("coordinator.slot_rotations"), 395u);
+    EXPECT_LE(tel.counter("coordinator.slot_rotations"), 401u);
+}
+
 // --- Accountant ----------------------------------------------------------------
 
 TEST(Accountant, EventNames)
@@ -317,12 +378,17 @@ TEST(Accountant, ExplicitEventsAreQueued)
     acc.notifyCapChange(90.0);
     acc.notifyArrival(7);
     auto events = acc.poll(server);
-    ASSERT_EQ(events.size(), 2u);
+    // App 7 was announced but is not resident by poll time, so the
+    // poll also emits a synthetic E3 for it (announced-then-vanished
+    // apps must not leak).
+    ASSERT_EQ(events.size(), 3u);
     EXPECT_EQ(events[0].kind, EventKind::CapChange);
     EXPECT_DOUBLE_EQ(events[0].newCap, 90.0);
     EXPECT_EQ(events[1].kind, EventKind::Arrival);
     EXPECT_EQ(events[1].appId, 7);
-    // Queue drains.
+    EXPECT_EQ(events[2].kind, EventKind::Departure);
+    EXPECT_EQ(events[2].appId, 7);
+    // Queue drains, and the vanished entry was dropped for good.
     EXPECT_TRUE(acc.poll(server).empty());
 }
 
@@ -398,6 +464,58 @@ TEST(Accountant, DriftDetectionCanBeDisabled)
         server.run(toTicks(0.05));
         EXPECT_TRUE(acc.poll(server).empty());
     }
+}
+
+TEST(Accountant, KilledAppEmitsSyntheticDepartureOnce)
+{
+    sim::Server server;
+    int id = server.admit(workload("kmeans"));
+    Accountant acc;
+    acc.notifyArrival(id);
+    acc.poll(server); // drain the E2
+    server.run(toTicks(0.5));
+
+    // The app is killed out from under the accountant — it vanishes
+    // without ever reporting finished().
+    server.remove(id);
+    auto events = acc.poll(server);
+    ASSERT_EQ(events.size(), 1u);
+    EXPECT_EQ(events[0].kind, EventKind::Departure);
+    EXPECT_EQ(events[0].appId, id);
+    // Reported exactly once; the tracked entry does not leak.
+    EXPECT_TRUE(acc.poll(server).empty());
+    EXPECT_TRUE(acc.poll(server).empty());
+}
+
+TEST(Accountant, ReusedAppIdRearmsDetection)
+{
+    // App ids are recycled (each server hands them out from 1), so
+    // after a departure the same id can reappear as a brand-new app.
+    // The arrival must reset the tracked entry: a stale
+    // reported_finished flag would swallow the new tenant's E3.
+    perf::AppProfile tiny = workload("kmeans");
+    tiny.totalHeartbeats = 5.0;
+    Accountant acc;
+
+    sim::Server first;
+    int id = first.admit(tiny);
+    acc.notifyArrival(id);
+    acc.poll(first);
+    first.run(toTicks(5.0)); // runs to completion
+    auto events = acc.poll(first);
+    ASSERT_EQ(events.size(), 1u);
+    EXPECT_EQ(events[0].kind, EventKind::Departure);
+
+    sim::Server second;
+    int reused = second.admit(tiny);
+    ASSERT_EQ(reused, id); // same id, different app
+    acc.notifyArrival(reused);
+    acc.poll(second); // drain the E2; entry must be re-armed
+    second.run(toTicks(5.0));
+    events = acc.poll(second);
+    ASSERT_EQ(events.size(), 1u);
+    EXPECT_EQ(events[0].kind, EventKind::Departure);
+    EXPECT_EQ(events[0].appId, id);
 }
 
 } // namespace
