@@ -152,6 +152,9 @@ ClusterManager::replayEqual(const PowerTrace &caps)
     result.aggregatePerf = perf / static_cast<double>(ledger.size());
     result.perfPerKw =
         result.aggregatePerf / (result.avgClusterPower / 1000.0);
+    core::TimerStat spatial = pool->aggregateTimer("allocator.spatial");
+    result.allocatorCalls = spatial.count;
+    result.allocatorSeconds = toSeconds(spatial.total);
     return result;
 }
 

@@ -100,6 +100,11 @@ struct ClusterResult
     Tick duration = 0;
     std::size_t migrations = 0;   ///< consolidation only
     std::size_t parkedAppSteps = 0; ///< app-steps spent unplaced
+    /** Spatial allocator invocations across every node's control
+     * plane (managed replays only). */
+    std::size_t allocatorCalls = 0;
+    /** Wall-clock seconds those invocations cost, cluster-wide. */
+    double allocatorSeconds = 0.0;
 };
 
 /**

@@ -162,4 +162,30 @@ NodePool::aggregateTelemetry() const
     return cluster;
 }
 
+std::uint64_t
+NodePool::aggregateCounter(const std::string &key) const
+{
+    std::uint64_t total = pool_tel.counter(key);
+    for (const Node &node : node_list) {
+        if (node.manager)
+            total += node.manager->telemetry().counter(key);
+    }
+    return total;
+}
+
+core::TimerStat
+NodePool::aggregateTimer(const std::string &key) const
+{
+    core::TimerStat agg = pool_tel.timer(key);
+    for (const Node &node : node_list) {
+        if (!node.manager)
+            continue;
+        core::TimerStat t = node.manager->telemetry().timer(key);
+        agg.count += t.count;
+        agg.total += t.total;
+        agg.max = std::max(agg.max, t.max);
+    }
+    return agg;
+}
+
 } // namespace psm::cluster

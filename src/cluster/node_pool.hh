@@ -126,6 +126,15 @@ class NodePool
      */
     core::Telemetry aggregateTelemetry() const;
 
+    /** Cluster-wide sum of one counter across the pool bus and every
+     * managed node — cheaper than folding whole buses when a driver
+     * only wants a single rollup (e.g. allocator cache hit counts). */
+    std::uint64_t aggregateCounter(const std::string &key) const;
+
+    /** Cluster-wide fold of one timer, same scope as
+     * aggregateCounter(). */
+    core::TimerStat aggregateTimer(const std::string &key) const;
+
     /** The pool's fault oracle (node-crash rolls). */
     const util::FaultInjector &faultInjector() const
     {

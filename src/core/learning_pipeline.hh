@@ -20,8 +20,10 @@
 #ifndef PSM_CORE_LEARNING_PIPELINE_HH
 #define PSM_CORE_LEARNING_PIPELINE_HH
 
+#include <cstdint>
 #include <map>
 #include <optional>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -124,6 +126,17 @@ class LearningPipeline
      */
     Tick lastCalibrationLatency() const { return last_latency; }
 
+    /**
+     * Monotonic epoch of the utility surfaces: bumped whenever a
+     * calibration starts replacing an application's live surface, so
+     * downstream caches keyed on curve contents (the allocator's DP
+     * tables) know their frontiers may be stale.  First-time
+     * calibrations do not bump it — a brand-new surface only extends
+     * the curve set, which the caches handle incrementally.  Starts
+     * at 1 (0 is the "no epoch discipline" sentinel).
+     */
+    std::uint64_t surfaceEpoch() const { return surface_epoch; }
+
   private:
     sim::Server &srv;
     LearningConfig cfg;
@@ -161,6 +174,9 @@ class LearningPipeline
     };
     std::map<int, AppLearning> apps;
     Tick last_latency = 0;
+    std::uint64_t surface_epoch = 1;
+    /** Names ever tracked, to detect same-name re-arrivals. */
+    std::set<std::string> tracked_names;
 
     void finishCalibration(int id);
     void rebuildServerAverageCurve();

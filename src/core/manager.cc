@@ -206,6 +206,7 @@ ServerManager::reallocate(const std::string &trigger)
     }
     if (pipeline.serverAverageCurve())
         in.serverAverage = &*pipeline.serverAverageCurve();
+    in.surfaceEpoch = pipeline.surfaceEpoch();
 
     if (cap > 0.0) {
         // Withhold the guard band and the adherence trim so estimation

@@ -138,7 +138,8 @@ PlanSelector::selectUtilityAware(const PlanInputs &in) const
     PowerAllocator dp(dp_cfg);
     dp.setTelemetry(tel);
 
-    Allocation alloc = dp.allocate(in.curves, usable);
+    Allocation alloc =
+        dp.allocate(in.curves, usable, &dp_cache, in.surfaceEpoch);
     if (alloc.allScheduled()) {
         d.choice = PlanChoice::SpatialUtility;
         d.objective = alloc.objective;
@@ -164,7 +165,8 @@ PlanSelector::selectUtilityAware(const PlanInputs &in) const
     if (policyUsesEsd(in.policy) && in.hasEsd && in.esd &&
         in.calibratingCount == 0) {
         EsdPlan plan = planner.esdPlan(in.curves, plat.idlePower,
-                                       plat.cmPower, in.cap, *in.esd);
+                                       plat.cmPower, in.cap, *in.esd,
+                                       plat.offPeriodCmPower);
         if (plan.viable) {
             d.choice = PlanChoice::EsdAssisted;
             d.objective = plan.objective;

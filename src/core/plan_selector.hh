@@ -14,6 +14,7 @@
 #ifndef PSM_CORE_PLAN_SELECTOR_HH
 #define PSM_CORE_PLAN_SELECTOR_HH
 
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <vector>
@@ -76,6 +77,12 @@ struct PlanInputs
     bool knobsAvailable = true;
     /** Corpus-average curve (Server+Res-Aware baseline). */
     const UtilityCurve *serverAverage = nullptr;
+    /**
+     * LearningPipeline::surfaceEpoch() of the curves, keying the
+     * selector's incremental allocator cache.  0 (the default)
+     * disables cross-event reuse.
+     */
+    std::uint64_t surfaceEpoch = 0;
 };
 
 /** The selector's verdict: which plan, and its payload. */
@@ -101,7 +108,10 @@ struct PlanDecision
 };
 
 /**
- * Stateless decision layer; one per manager.
+ * Decision layer; one per manager.  Pure with respect to the server —
+ * its only state is the allocator's cross-event DP cache, which is a
+ * transparent accelerator (allocations are bit-identical with or
+ * without it).
  */
 class PlanSelector
 {
@@ -110,13 +120,16 @@ class PlanSelector
                  AllocatorConfig allocator,
                  Telemetry *telemetry = nullptr);
 
-    /** Decide a plan.  Pure: no server mutation, no actuation. */
+    /** Decide a plan.  No server mutation, no actuation. */
     PlanDecision select(const PlanInputs &in) const;
 
   private:
     const power::PlatformConfig &plat;
     AllocatorConfig alloc_cfg;
     Telemetry *tel;
+    /** Cross-event DP reuse for the spatial allocation, keyed on
+     * PlanInputs::surfaceEpoch. */
+    mutable AllocatorCache dp_cache;
 
     PlanDecision fairSplit(Watts budget, std::size_t n,
                            bool demand_following) const;

@@ -1,12 +1,64 @@
 #include "power_allocator.hh"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 
 #include "util/logging.hh"
 
 namespace psm::core
 {
+
+namespace
+{
+
+using Cands = std::vector<std::pair<std::size_t, double>>;
+
+/**
+ * One DP fold: next[b] = max over candidates (x, v), x <= b, of
+ * dp[b - x] + v, recording the smallest maximizing x.
+ *
+ * Exactly equivalent to the dense scan over every x in [0, b]: the
+ * dense table's value is constant between thresholds while dp is
+ * non-decreasing, so any non-threshold x is dominated by the start of
+ * its step — which is also smaller, so the dense scan's first
+ * maximizer is always a threshold and the ascending strict-> scan
+ * below picks the very same one.
+ */
+void
+frontierFold(const Cands &cands, const std::vector<double> &dp,
+             std::vector<double> &next,
+             std::vector<std::size_t> &choice)
+{
+    std::size_t buckets = dp.size() - 1;
+    next.resize(buckets + 1);
+    choice.resize(buckets + 1);
+    for (std::size_t b = 0; b <= buckets; ++b) {
+        double best = -1.0;
+        std::size_t best_x = 0;
+        for (const auto &[x, v] : cands) {
+            if (x > b)
+                break;
+            double cand = dp[b - x] + v;
+            if (cand > best) {
+                best = cand;
+                best_x = x;
+            }
+        }
+        next[b] = best;
+        choice[b] = best_x;
+    }
+}
+
+double
+wallSeconds(const std::chrono::steady_clock::time_point &t0)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+}
+
+} // namespace
 
 bool
 Allocation::allScheduled() const
@@ -24,87 +76,145 @@ PowerAllocator::PowerAllocator(AllocatorConfig config) : cfg(config)
     psm_assert(cfg.esdSearchStep > 0.0);
 }
 
-Allocation
-PowerAllocator::allocate(const std::vector<const UtilityCurve *> &curves,
-                         Watts dynamic_budget) const
+PowerAllocator::ReservePlan
+PowerAllocator::reservePlan(
+    const std::vector<const UtilityCurve *> &curves,
+    Watts dynamic_budget) const
 {
-    psm_assert(!curves.empty());
-    psm_assert(dynamic_budget >= 0.0);
-    if (tel)
-        tel->count("allocator.allocate");
-
     std::size_t k = curves.size();
 
     // Eq. 1 weighs all applications evenly: whenever the budget can
     // host every application's cheapest point, reserve those minima
     // so nobody is starved, and let the DP divide only the headroom.
-    std::vector<Watts> reserve(k, 0.0);
-    Watts reserved_total = 0.0;
+    ReservePlan rp;
+    rp.reserve.assign(k, 0.0);
     if (cfg.reserveMinima) {
         Watts mins = 0.0;
         for (const auto *c : curves)
             mins += c->minPower();
         if (mins <= dynamic_budget) {
             for (std::size_t i = 0; i < k; ++i)
-                reserve[i] = curves[i]->minPower();
-            reserved_total = mins;
+                rp.reserve[i] = curves[i]->minPower();
+            rp.total = mins;
+            rp.applied = true;
         }
     }
-    Watts headroom = dynamic_budget - reserved_total;
-    auto buckets = static_cast<std::size_t>(
+    Watts headroom = dynamic_budget - rp.total;
+    rp.buckets = static_cast<std::size_t>(
         std::floor(headroom / cfg.granularity));
+    return rp;
+}
 
-    // perf[i][b]: best perfNorm app i reaches within its reserve plus
-    // b * granularity.
-    std::vector<std::vector<double>> perf(k);
-    for (std::size_t i = 0; i < k; ++i) {
-        perf[i].resize(buckets + 1);
-        for (std::size_t b = 0; b <= buckets; ++b) {
-            perf[i][b] = curves[i]->perfAt(
-                reserve[i] +
-                static_cast<double>(b) * cfg.granularity);
-        }
-    }
+Allocation
+PowerAllocator::allocate(const std::vector<const UtilityCurve *> &curves,
+                         Watts dynamic_budget) const
+{
+    return allocate(curves, dynamic_budget, nullptr, 0);
+}
 
-    // Knapsack DP with per-app choice reconstruction.
+Allocation
+PowerAllocator::allocate(const std::vector<const UtilityCurve *> &curves,
+                         Watts dynamic_budget, AllocatorCache *cache,
+                         std::uint64_t epoch) const
+{
+    psm_assert(!curves.empty());
+    psm_assert(dynamic_budget >= 0.0);
+    auto t0 = std::chrono::steady_clock::now();
+    if (tel)
+        tel->count("allocator.allocate");
+
+    ReservePlan rp = reservePlan(curves, dynamic_budget);
+    Allocation alloc = !cache || epoch == 0 || cfg.denseDp
+                           ? solveDirect(curves, dynamic_budget, rp)
+                           : solveCached(curves, dynamic_budget, rp,
+                                         *cache, epoch);
+    if (tel)
+        tel->observe("allocator.spatial", toTicks(wallSeconds(t0)));
+    return alloc;
+}
+
+Allocation
+PowerAllocator::solveDirect(
+    const std::vector<const UtilityCurve *> &curves,
+    Watts dynamic_budget, const ReservePlan &rp) const
+{
+    std::size_t k = curves.size();
+    std::size_t buckets = rp.buckets;
+
     std::vector<double> dp(buckets + 1, 0.0);
     std::vector<std::vector<std::size_t>> choice(
         k, std::vector<std::size_t>(buckets + 1, 0));
-    for (std::size_t i = 0; i < k; ++i) {
-        std::vector<double> next(buckets + 1, 0.0);
-        for (std::size_t b = 0; b <= buckets; ++b) {
-            double best = -1.0;
-            std::size_t best_x = 0;
-            for (std::size_t x = 0; x <= b; ++x) {
-                double v = dp[b - x] + perf[i][x];
-                if (v > best) {
-                    best = v;
-                    best_x = x;
-                }
+    if (cfg.denseDp) {
+        // Dense baseline: per-bucket perf tables and an O(B²) scan
+        // per app.  Kept verbatim as the exact-equivalence reference
+        // for the frontier transition.
+        std::vector<std::vector<double>> perf(k);
+        for (std::size_t i = 0; i < k; ++i) {
+            perf[i].resize(buckets + 1);
+            for (std::size_t b = 0; b <= buckets; ++b) {
+                perf[i][b] = curves[i]->perfAt(
+                    rp.reserve[i] +
+                    static_cast<double>(b) * cfg.granularity);
             }
-            next[b] = best;
-            choice[i][b] = best_x;
         }
-        dp = std::move(next);
+        for (std::size_t i = 0; i < k; ++i) {
+            std::vector<double> next(buckets + 1, 0.0);
+            for (std::size_t b = 0; b <= buckets; ++b) {
+                double best = -1.0;
+                std::size_t best_x = 0;
+                for (std::size_t x = 0; x <= b; ++x) {
+                    double v = dp[b - x] + perf[i][x];
+                    if (v > best) {
+                        best = v;
+                        best_x = x;
+                    }
+                }
+                next[b] = best;
+                choice[i][b] = best_x;
+            }
+            dp = std::move(next);
+        }
+    } else {
+        // Frontier transition: only the thresholds where a frontier
+        // point first becomes affordable can change the step function,
+        // so the inner max needs P candidates, not B buckets.
+        std::vector<double> next;
+        for (std::size_t i = 0; i < k; ++i) {
+            Cands cands = curves[i]->bucketCandidates(
+                rp.reserve[i], cfg.granularity, buckets);
+            frontierFold(cands, dp, next, choice[i]);
+            dp.swap(next);
+        }
     }
 
     // Walk the choices back from the full budget.
-    Allocation alloc;
-    alloc.dynamicBudget = dynamic_budget;
-    alloc.apps.resize(k);
+    std::vector<Watts> granted(k, 0.0);
     std::size_t b = buckets;
     for (std::size_t ii = k; ii-- > 0;) {
         std::size_t x = choice[ii][b];
-        Watts granted = reserve[ii] +
-                        static_cast<double>(x) * cfg.granularity;
-        AppAllocation &a = alloc.apps[ii];
-        a.app = curves[ii]->name();
-        a.point = curves[ii]->bestWithin(granted);
+        granted[ii] = rp.reserve[ii] +
+                      static_cast<double>(x) * cfg.granularity;
+        b -= x;
+    }
+    return buildAllocation(curves, granted, dynamic_budget);
+}
+
+Allocation
+PowerAllocator::buildAllocation(
+    const std::vector<const UtilityCurve *> &curves,
+    const std::vector<Watts> &granted, Watts dynamic_budget) const
+{
+    Allocation alloc;
+    alloc.dynamicBudget = dynamic_budget;
+    alloc.apps.resize(curves.size());
+    for (std::size_t i = 0; i < curves.size(); ++i) {
+        AppAllocation &a = alloc.apps[i];
+        a.app = curves[i]->name();
+        a.point = curves[i]->bestWithin(granted[i]);
         if (a.point) {
-            a.budget = granted;
+            a.budget = granted[i];
             a.expectedPerf = a.point->perfNorm;
         }
-        b -= x;
     }
 
     distributeSlack(curves, alloc);
@@ -113,11 +223,201 @@ PowerAllocator::allocate(const std::vector<const UtilityCurve *> &curves,
     alloc.objective = 0.0;
     for (const auto &a : alloc.apps) {
         if (a.scheduled()) {
+            // Consumers (actuation accounting, decision records) rely
+            // on a scheduled app's point fitting its granted budget.
+            psm_assert(a.point->power <= a.budget + 1e-9);
             alloc.used += a.point->power;
             alloc.objective += a.expectedPerf;
         }
     }
     return alloc;
+}
+
+void
+PowerAllocator::rebuildCache(
+    const std::vector<const UtilityCurve *> &curves,
+    const ReservePlan &rp, AllocatorCache &cache,
+    std::uint64_t epoch) const
+{
+    std::size_t k = curves.size();
+
+    // Pad the table width so a single departure still fits: the freed
+    // reserve minimum re-enters the headroom, so the recombined walk
+    // needs more buckets than this build does.
+    std::size_t pad = 0;
+    for (Watts r : rp.reserve) {
+        if (r > 0.0) {
+            pad = std::max(
+                pad, static_cast<std::size_t>(
+                         std::ceil(r / cfg.granularity)) + 1);
+        }
+    }
+
+    cache.valid = true;
+    cache.epoch = epoch;
+    cache.granularity = cfg.granularity;
+    cache.reserveApplied = rp.applied;
+    cache.buckets = rp.buckets + pad;
+    cache.apps.assign(k, {});
+    for (std::size_t i = 0; i < k; ++i) {
+        cache.apps[i].name = curves[i]->name();
+        cache.apps[i].reserve = rp.reserve[i];
+        cache.apps[i].cands = curves[i]->bucketCandidates(
+            rp.reserve[i], cfg.granularity, cache.buckets);
+    }
+
+    cache.pre.assign(k + 1, {});
+    cache.preChoice.assign(k, {});
+    cache.pre[0].assign(cache.buckets + 1, 0.0);
+    for (std::size_t i = 0; i < k; ++i) {
+        frontierFold(cache.apps[i].cands, cache.pre[i],
+                     cache.pre[i + 1], cache.preChoice[i]);
+    }
+
+    cache.suf.assign(k + 1, {});
+    cache.sufChoice.assign(k, {});
+    cache.suf[k].assign(cache.buckets + 1, 0.0);
+    for (std::size_t i = k; i-- > 0;) {
+        frontierFold(cache.apps[i].cands, cache.suf[i + 1],
+                     cache.suf[i], cache.sufChoice[i]);
+    }
+}
+
+Allocation
+PowerAllocator::solveCached(
+    const std::vector<const UtilityCurve *> &curves,
+    Watts dynamic_budget, const ReservePlan &rp,
+    AllocatorCache &cache, std::uint64_t epoch) const
+{
+    std::size_t k = curves.size();
+
+    enum class Match
+    {
+        Rebuild,
+        Full,    ///< identical name sequence
+        Extend,  ///< cached sequence is a strict prefix (arrival)
+        Combine, ///< cached sequence minus one app (departure)
+    };
+    Match match = Match::Rebuild;
+    std::size_t hole = 0;
+
+    if (cache.valid && cache.epoch == epoch &&
+        cache.granularity == cfg.granularity &&
+        cache.reserveApplied == rp.applied &&
+        rp.buckets <= cache.buckets) {
+        std::size_t kc = cache.apps.size();
+        auto same = [&](std::size_t ci, std::size_t i) {
+            return cache.apps[ci].name == curves[i]->name() &&
+                   cache.apps[ci].reserve == rp.reserve[i];
+        };
+        if (k >= kc) {
+            bool prefix = true;
+            for (std::size_t i = 0; i < kc && prefix; ++i)
+                prefix = same(i, i);
+            if (prefix)
+                match = k == kc ? Match::Full : Match::Extend;
+        } else if (k + 1 == kc) {
+            std::size_t ci = 0;
+            bool ok = true;
+            std::size_t h = kc - 1; // hole at the end if no mismatch
+            for (std::size_t i = 0; i < k; ++i) {
+                if (ci == i && !same(ci, i)) {
+                    h = ci;
+                    ++ci; // skip the departed app once
+                }
+                ok = ok && same(ci, i);
+                ++ci;
+            }
+            if (ok) {
+                match = Match::Combine;
+                hole = h;
+            }
+        }
+    }
+
+    if (match == Match::Rebuild || match == Match::Extend) {
+        if (match == Match::Extend) {
+            // Arrival(s) appended at the end: the prefix tables fold
+            // left-to-right, so only the new apps need a pass — but
+            // every suffix now ends differently, so those rebuild.
+            std::size_t old_k = cache.apps.size();
+            cache.apps.resize(k);
+            cache.pre.resize(k + 1);
+            cache.preChoice.resize(k);
+            for (std::size_t i = old_k; i < k; ++i) {
+                cache.apps[i].name = curves[i]->name();
+                cache.apps[i].reserve = rp.reserve[i];
+                cache.apps[i].cands = curves[i]->bucketCandidates(
+                    rp.reserve[i], cfg.granularity, cache.buckets);
+                frontierFold(cache.apps[i].cands, cache.pre[i],
+                             cache.pre[i + 1], cache.preChoice[i]);
+            }
+            cache.suf.assign(k + 1, {});
+            cache.sufChoice.assign(k, {});
+            cache.suf[k].assign(cache.buckets + 1, 0.0);
+            for (std::size_t i = k; i-- > 0;) {
+                frontierFold(cache.apps[i].cands, cache.suf[i + 1],
+                             cache.suf[i], cache.sufChoice[i]);
+            }
+            if (tel)
+                tel->count("allocator.dp_extends");
+        } else {
+            rebuildCache(curves, rp, cache, epoch);
+            if (tel)
+                tel->count("allocator.dp_rebuilds");
+        }
+        match = Match::Full;
+        hole = k; // not a combine
+    } else if (tel) {
+        tel->count(match == Match::Full ? "allocator.dp_full_hits"
+                                        : "allocator.dp_combines");
+    }
+
+    std::vector<Watts> granted(k, 0.0);
+    if (match == Match::Full) {
+        std::size_t b = rp.buckets;
+        for (std::size_t ii = k; ii-- > 0;) {
+            std::size_t x = cache.preChoice[ii][b];
+            granted[ii] = rp.reserve[ii] +
+                          static_cast<double>(x) * cfg.granularity;
+            b -= x;
+        }
+    } else {
+        // Departure of cached app `hole`: the optimum over the
+        // remaining apps is the best split of the budget between the
+        // prefix [0, hole) and the suffix [hole+1, k+1) — one O(B)
+        // max-plus combine of two cached tables, no DP pass at all.
+        // The cache keeps describing the pre-departure sequence, so
+        // follow-up allocations (and further departures elsewhere)
+        // keep recombining the same tables.
+        std::size_t kc = cache.apps.size();
+        std::size_t b = rp.buckets;
+        double best = -1.0;
+        std::size_t best_b1 = 0;
+        for (std::size_t b1 = 0; b1 <= b; ++b1) {
+            double v = cache.pre[hole][b1] +
+                       cache.suf[hole + 1][b - b1];
+            if (v > best) {
+                best = v;
+                best_b1 = b1;
+            }
+        }
+        std::size_t pb = best_b1;
+        for (std::size_t ii = hole; ii-- > 0;) {
+            std::size_t x = cache.preChoice[ii][pb];
+            granted[ii] = rp.reserve[ii] +
+                          static_cast<double>(x) * cfg.granularity;
+            pb -= x;
+        }
+        std::size_t sb = b - best_b1;
+        for (std::size_t ci = hole + 1; ci < kc; ++ci) {
+            std::size_t x = cache.sufChoice[ci][sb];
+            granted[ci - 1] = rp.reserve[ci - 1] +
+                              static_cast<double>(x) * cfg.granularity;
+            sb -= x;
+        }
+    }
+    return buildAllocation(curves, granted, dynamic_budget);
 }
 
 void
@@ -173,7 +473,10 @@ PowerAllocator::distributeSlack(
             return;
         AppAllocation &a = alloc.apps[best_i];
         a.point = best_point;
-        a.budget = best_point->power;
+        // The upgrade spends slack, not the app's grant: keep the
+        // granted watts (only widening them if the DP never scheduled
+        // this app) so point->power <= budget stays true.
+        a.budget = std::max(a.budget, best_point->power);
         a.expectedPerf = best_point->perfNorm;
     }
 }
@@ -232,22 +535,50 @@ PowerAllocator::temporalPlan(
             slot.share = share;
     } else {
         // Weight by perf-per-watt at the ON point, floored so no
-        // application starves, then normalized.
-        double sum = 0.0;
-        for (auto &slot : plan.slots) {
-            slot.share = slot.point.perfNorm /
-                         std::max(slot.point.power, 1e-9);
-            sum += slot.share;
-        }
+        // application starves.  Clamping a slot to the floor and then
+        // renormalizing dilutes every other slot, which can push a
+        // previously-safe slot back under the floor — so water-fill:
+        // clamp offenders, re-spread only the unclamped weight mass
+        // over the remaining share, and repeat.  Each round clamps at
+        // least one more slot, so it terminates within n rounds (the
+        // all-clamped case is exactly the equal split when the floor
+        // is feasible, i.e. shareFloor <= 1).
         double floor_share =
             cfg.shareFloor / static_cast<double>(plan.slots.size());
-        double total = 0.0;
-        for (auto &slot : plan.slots) {
-            slot.share = std::max(slot.share / sum, floor_share);
-            total += slot.share;
+        std::vector<double> weight(plan.slots.size());
+        std::vector<bool> clamped(plan.slots.size(), false);
+        for (std::size_t i = 0; i < plan.slots.size(); ++i) {
+            weight[i] = plan.slots[i].point.perfNorm /
+                        std::max(plan.slots[i].point.power, 1e-9);
         }
-        for (auto &slot : plan.slots)
-            slot.share /= total;
+        for (;;) {
+            double free_weight = 0.0;
+            double free_share = 1.0;
+            for (std::size_t i = 0; i < plan.slots.size(); ++i) {
+                if (clamped[i])
+                    free_share -= floor_share;
+                else
+                    free_weight += weight[i];
+            }
+            bool changed = false;
+            for (std::size_t i = 0; i < plan.slots.size(); ++i) {
+                if (clamped[i]) {
+                    plan.slots[i].share = floor_share;
+                    continue;
+                }
+                double share =
+                    free_share * weight[i] /
+                    std::max(free_weight, 1e-12);
+                if (share < floor_share - 1e-12) {
+                    clamped[i] = true;
+                    changed = true;
+                } else {
+                    plan.slots[i].share = share;
+                }
+            }
+            if (!changed)
+                break;
+        }
     }
 
     for (const auto &slot : plan.slots)
@@ -258,15 +589,23 @@ PowerAllocator::temporalPlan(
 EsdPlan
 PowerAllocator::esdPlan(const std::vector<const UtilityCurve *> &curves,
                         Watts idle_power, Watts cm_power, Watts cap,
-                        const esd::BatteryConfig &esd) const
+                        const esd::BatteryConfig &esd,
+                        Watts off_cm_power) const
 {
     EsdPlan best;
+    auto t0 = std::chrono::steady_clock::now();
     if (tel)
         tel->count("allocator.esd_plan");
-    if (cap <= idle_power)
+    if (curves.empty())
+        return best;
+    if (cap <= idle_power + off_cm_power)
         return best; // no headroom to ever charge
 
-    Watts charge = std::min(cap - idle_power, esd.maxChargePower);
+    // Whatever the platform still draws while everything is OFF
+    // (idle floor plus any always-awake management plane) eats into
+    // the charge headroom Eq. 5 divides by.
+    Watts charge = std::min(cap - idle_power - off_cm_power,
+                            esd.maxChargePower);
     double eta = esd.roundTripEfficiency();
 
     // Candidate ON-period dynamic budgets: from the cheapest joint
@@ -282,14 +621,12 @@ PowerAllocator::esdPlan(const std::vector<const UtilityCurve *> &curves,
     // accumulating `budget += step`: repeated addition drifts, and
     // near the boundary the drift could add or drop the final
     // candidate depending on how the error happened to round.
-    auto buckets = static_cast<std::size_t>(
+    auto sweep = static_cast<std::size_t>(
         std::floor((hi - lo + 1e-9) / cfg.esdSearchStep)) + 1;
-    for (std::size_t bucket = 0; bucket < buckets; ++bucket) {
-        Watts budget =
-            lo + static_cast<double>(bucket) * cfg.esdSearchStep;
-        Allocation alloc = allocate(curves, budget);
+
+    auto consider = [&](Allocation alloc) {
         if (!alloc.allScheduled())
-            continue;
+            return;
         Watts on_draw = idle_power + cm_power + alloc.used;
         Watts deficit = on_draw - cap;
         double on_fraction;
@@ -299,7 +636,7 @@ PowerAllocator::esdPlan(const std::vector<const UtilityCurve *> &curves,
             deficit = 0.0;
         } else {
             if (deficit > esd.maxDischargePower)
-                continue; // battery cannot bridge this draw
+                return; // battery cannot bridge this draw
             // Eq. 5: off/on = deficit / (eta * charge headroom).
             double off_over_on = deficit / (eta * charge);
             on_fraction = 1.0 / (1.0 + off_over_on);
@@ -313,7 +650,62 @@ PowerAllocator::esdPlan(const std::vector<const UtilityCurve *> &curves,
             best.objective = objective;
             best.viable = true;
         }
+    };
+
+    if (cfg.denseDp) {
+        // Reference path: a full allocation per candidate budget.
+        for (std::size_t bucket = 0; bucket < sweep; ++bucket) {
+            Watts budget =
+                lo + static_cast<double>(bucket) * cfg.esdSearchStep;
+            consider(allocate(curves, budget));
+        }
+    } else {
+        // The DP table for the largest candidate budget subsumes every
+        // smaller one: dp rows and choices at bucket index b never
+        // depend on the table width, so one forward pass plus a cheap
+        // walk-back per candidate replaces `sweep` independent
+        // allocate() calls.  This needs the reserve regime to be
+        // uniform across the sweep, which it is: every candidate
+        // budget is lo + bucket*step >= lo, and lo accumulates the
+        // same minPower() terms in the same order reservePlan() sums,
+        // so `mins <= budget` answers identically for all candidates.
+        std::size_t k = curves.size();
+        Watts budget_max =
+            lo + static_cast<double>(sweep - 1) * cfg.esdSearchStep;
+        ReservePlan rp_max = reservePlan(curves, budget_max);
+
+        std::vector<double> dp(rp_max.buckets + 1, 0.0);
+        std::vector<double> scratch;
+        std::vector<std::vector<std::size_t>> choice(k);
+        for (std::size_t i = 0; i < k; ++i) {
+            Cands cands = curves[i]->bucketCandidates(
+                rp_max.reserve[i], cfg.granularity, rp_max.buckets);
+            frontierFold(cands, dp, scratch, choice[i]);
+            dp.swap(scratch);
+        }
+
+        for (std::size_t bucket = 0; bucket < sweep; ++bucket) {
+            Watts budget =
+                lo + static_cast<double>(bucket) * cfg.esdSearchStep;
+            // Re-derive the candidate's bucket count through the very
+            // expressions a standalone allocate() would use, so the
+            // walk-back starts from a bit-identical index.
+            ReservePlan rp = reservePlan(curves, budget);
+            psm_assert(rp.applied == rp_max.applied);
+            psm_assert(rp.buckets <= rp_max.buckets);
+            std::vector<Watts> granted(k, 0.0);
+            std::size_t b = rp.buckets;
+            for (std::size_t ii = k; ii-- > 0;) {
+                std::size_t x = choice[ii][b];
+                granted[ii] = rp.reserve[ii] +
+                              static_cast<double>(x) * cfg.granularity;
+                b -= x;
+            }
+            consider(buildAllocation(curves, granted, budget));
+        }
     }
+    if (tel)
+        tel->observe("allocator.esd", toTicks(wallSeconds(t0)));
     return best;
 }
 

@@ -8,7 +8,12 @@
  * Allocation is a discrete knapsack over per-application Pareto
  * frontiers, solved by dynamic programming at sub-watt granularity,
  * followed by a greedy pass that hands any slack to the application
- * with the best marginal utility.
+ * with the best marginal utility.  The DP transition only inspects
+ * the bucket thresholds where a frontier point first becomes
+ * affordable (P points instead of B buckets per cell — bit-identical
+ * to the dense scan, see AllocatorConfig::denseDp), and an optional
+ * AllocatorCache reuses prefix/suffix tables across E1–E4 events so
+ * single arrivals and departures avoid a full re-solve.
  *
  * Besides the spatial allocation it also produces the two temporal
  * plans the Coordinator needs: alternate duty-cycle slots (R3b) and
@@ -18,8 +23,10 @@
 #ifndef PSM_CORE_POWER_ALLOCATOR_HH
 #define PSM_CORE_POWER_ALLOCATOR_HH
 
+#include <cstdint>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "esd/battery.hh"
@@ -106,10 +113,75 @@ struct AllocatorConfig
      * curve minimum is not a real hardware minimum.
      */
     bool reserveMinima = true;
+    /**
+     * Exact-equivalence fallback: solve with the dense O(k·B²)
+     * per-bucket DP and re-run the full allocation for every esdPlan
+     * sweep candidate, instead of the frontier-compressed O(k·B·P)
+     * transition with one shared sweep table.  Both paths produce
+     * bit-identical allocations (bench_allocator --check trips
+     * otherwise); this flag exists as the A/B baseline and as an
+     * escape hatch.
+     */
+    bool denseDp = false;
 };
 
 /**
- * Stateless allocator over utility frontiers.
+ * Cross-event DP state for incremental re-allocation.
+ *
+ * The spatial knapsack is re-solved on every E1–E4 event, yet between
+ * events the curve set usually changes by at most one application:
+ * the cache keeps the per-app frontier candidates plus prefix tables
+ * pre[i] (apps [0,i) folded left-to-right) and suffix tables suf[i]
+ * (apps [i,k) folded right-to-left), so
+ *
+ *  - an unchanged sequence is served by walking the cached choices,
+ *  - an arrival appended at the end extends the prefix tables with
+ *    one pass per new app,
+ *  - a departure of app j recombines pre[j] with suf[j+1] in O(B)
+ *    instead of recomputing all k apps.
+ *
+ * Tables are built a little wider than the current bucket count so a
+ * departure's freed reserve minimum (which re-enters the headroom)
+ * still lands inside them.  Validity is keyed on the owner's
+ * surface-cache epoch: any recalibration that replaces a live curve
+ * must bump the epoch or the cache serves stale frontiers.
+ */
+class AllocatorCache
+{
+  public:
+    /** Drop all cached state (next use rebuilds). */
+    void invalidate() { valid = false; }
+
+  private:
+    friend class PowerAllocator;
+
+    /** One application's frontier on the bucket grid. */
+    struct AppEntry
+    {
+        std::string name;
+        Watts reserve = 0.0;
+        /** (bucket threshold, perfNorm), thresholds ascending. */
+        std::vector<std::pair<std::size_t, double>> cands;
+    };
+
+    bool valid = false;
+    std::uint64_t epoch = 0;
+    Watts granularity = 0.0;
+    bool reserveApplied = false;
+    std::size_t buckets = 0; ///< table width (includes the pad)
+    std::vector<AppEntry> apps;
+    /** pre[i][b]: best objective of apps [0,i) within b buckets. */
+    std::vector<std::vector<double>> pre;
+    std::vector<std::vector<std::size_t>> preChoice;
+    /** suf[i][b]: best objective of apps [i,k) within b buckets. */
+    std::vector<std::vector<double>> suf;
+    std::vector<std::vector<std::size_t>> sufChoice;
+};
+
+/**
+ * Stateless allocator over utility frontiers.  All cross-event state
+ * lives in a caller-owned AllocatorCache; the allocator itself can be
+ * constructed freely per decision.
  */
 class PowerAllocator
 {
@@ -128,6 +200,18 @@ class PowerAllocator
      */
     Allocation allocate(const std::vector<const UtilityCurve *> &curves,
                         Watts dynamic_budget) const;
+
+    /**
+     * Same optimization, reusing @p cache across events: identical
+     * curve sequences walk cached tables, an appended arrival extends
+     * them, a single departure recombines the prefix/suffix halves.
+     * @p epoch is the owner's surface-cache epoch; the cache is
+     * invalid the moment it changes.  epoch 0 means "no epoch
+     * discipline available" and bypasses the cache entirely.
+     */
+    Allocation allocate(const std::vector<const UtilityCurve *> &curves,
+                        Watts dynamic_budget, AllocatorCache *cache,
+                        std::uint64_t epoch) const;
 
     /**
      * The Util-Unaware baseline's split: every application gets an
@@ -154,14 +238,59 @@ class PowerAllocator
      * @param cm_power P_cm of the platform.
      * @param cap The server power cap.
      * @param esd The battery's static parameters.
+     * @param off_cm_power Management power still drawn during OFF
+     *        (charge) periods.  0 on platforms whose uncore parks in
+     *        PC6 once every core sleeps (the default platform — its
+     *        OFF draw is P_idle alone, matching the paper's §II-C
+     *        headroom example); set to the platform's P_cm when the
+     *        management plane stays awake while charging, where
+     *        ignoring it would understate Eq. 5's off/on ratio and
+     *        overstate the plan objective.
      */
     EsdPlan esdPlan(const std::vector<const UtilityCurve *> &curves,
                     Watts idle_power, Watts cm_power, Watts cap,
-                    const esd::BatteryConfig &esd) const;
+                    const esd::BatteryConfig &esd,
+                    Watts off_cm_power = 0.0) const;
 
   private:
+    /** Reserve-minima decision plus the resulting bucket count. */
+    struct ReservePlan
+    {
+        std::vector<Watts> reserve;
+        Watts total = 0.0;
+        bool applied = false;
+        std::size_t buckets = 0;
+    };
+
     AllocatorConfig cfg;
     Telemetry *tel = nullptr;
+
+    ReservePlan
+    reservePlan(const std::vector<const UtilityCurve *> &curves,
+                Watts dynamic_budget) const;
+
+    /** One-shot solve (no cross-event state); dense or frontier DP
+     * per cfg.denseDp. */
+    Allocation
+    solveDirect(const std::vector<const UtilityCurve *> &curves,
+                Watts dynamic_budget, const ReservePlan &rp) const;
+
+    /** Cache-backed solve: full hit / extend / combine / rebuild. */
+    Allocation
+    solveCached(const std::vector<const UtilityCurve *> &curves,
+                Watts dynamic_budget, const ReservePlan &rp,
+                AllocatorCache &cache, std::uint64_t epoch) const;
+
+    void rebuildCache(const std::vector<const UtilityCurve *> &curves,
+                      const ReservePlan &rp, AllocatorCache &cache,
+                      std::uint64_t epoch) const;
+
+    /** bestWithin + slack pass + objective/used rollup over per-app
+     * granted watts, with the point<=budget invariant asserted. */
+    Allocation
+    buildAllocation(const std::vector<const UtilityCurve *> &curves,
+                    const std::vector<Watts> &granted,
+                    Watts dynamic_budget) const;
 
     /** Greedy upgrade pass distributing DP slack.  Bounded: a
      * non-monotonic marginal-utility corner case cannot spin forever

@@ -107,6 +107,49 @@ UtilityCurve::perfAt(Watts budget) const
     return p ? p->perfNorm : 0.0;
 }
 
+std::vector<std::pair<std::size_t, double>>
+UtilityCurve::bucketCandidates(Watts reserve, Watts granularity,
+                               std::size_t max_buckets) const
+{
+    psm_assert(granularity > 0.0);
+    std::vector<std::pair<std::size_t, double>> cands;
+    cands.emplace_back(0, perfAt(reserve));
+    for (const auto &p : frontier) {
+        // Points inside the reserve are already captured by the
+        // bucket-0 candidate.
+        if (p.power <= reserve + 1e-9)
+            continue;
+        if ((p.power - reserve) / granularity >
+            static_cast<double>(max_buckets) + 2.0) {
+            break; // beyond the grid (frontier ascends in power)
+        }
+        // Smallest x with p.power <= reserve + x * granularity + eps.
+        // ceil() can land one bucket off through rounding, so settle
+        // with the exact affordability predicate bestWithin() uses.
+        auto x = static_cast<std::size_t>(std::max(
+            std::ceil((p.power - reserve - 1e-9) / granularity), 0.0));
+        while (x > 0 &&
+               p.power <= reserve +
+                              static_cast<double>(x - 1) * granularity +
+                              1e-9) {
+            --x;
+        }
+        while (p.power >
+               reserve + static_cast<double>(x) * granularity + 1e-9) {
+            ++x;
+        }
+        if (x > max_buckets)
+            break;
+        double v =
+            perfAt(reserve + static_cast<double>(x) * granularity);
+        if (cands.back().first == x)
+            cands.back().second = v; // same bucket: keep the best
+        else
+            cands.emplace_back(x, v);
+    }
+    return cands;
+}
+
 double
 UtilityCurve::marginalUtility(Watts budget) const
 {

@@ -87,6 +87,26 @@ class UtilityCurve
      */
     std::optional<UtilityPoint> bestWithin(Watts budget) const;
 
+    /**
+     * The frontier compressed onto the allocator's bucket grid: for
+     * each frontier point affordable within @p reserve plus
+     * @p max_buckets * @p granularity, the smallest bucket count at
+     * which bestWithin(reserve + buckets * granularity) reaches it,
+     * paired with the perfNorm delivered there.
+     *
+     * perfAt() is a non-decreasing step function of the bucket index,
+     * so these thresholds are the only indices where its value
+     * changes: a DP transition restricted to them is exactly
+     * equivalent to scanning every bucket, at O(points) instead of
+     * O(buckets) cost.  Values are re-read through perfAt() at the
+     * threshold so the compressed transition sees bit-identical
+     * doubles to a dense per-bucket table.  Always contains the
+     * (0, perfAt(reserve)) candidate; thresholds strictly increase.
+     */
+    std::vector<std::pair<std::size_t, double>>
+    bucketCandidates(Watts reserve, Watts granularity,
+                     std::size_t max_buckets) const;
+
     /** Normalized performance at @p budget (0 when infeasible). */
     double perfAt(Watts budget) const;
 

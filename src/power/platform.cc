@@ -104,8 +104,10 @@ PlatformConfig::validate() const
     if (dramPowerMin <= 0 || dramPowerMax < dramPowerMin)
         fatal("invalid DRAM power range [%f, %f]", dramPowerMin,
               dramPowerMax);
-    if (idlePower < 0 || cmPower < 0 || corePeakPower <= 0)
+    if (idlePower < 0 || cmPower < 0 || offPeriodCmPower < 0 ||
+        corePeakPower <= 0) {
         fatal("power constants must be non-negative");
+    }
     if (coreLinearFraction < 0 || coreLinearFraction > 1)
         fatal("coreLinearFraction must lie in [0, 1]");
 }

@@ -69,6 +69,16 @@ struct PlatformConfig
     Watts idlePower = 50.0;   ///< P_idle: fans, disks, leakage, refresh
     Watts cmPower = 20.0;     ///< P_cm: uncore turn-on cost
     Watts dynamicPowerMax = 60.0; ///< rated P_dynamic headroom
+    /**
+     * Management-plane power still drawn during all-off (ESD charge)
+     * periods.  0 on this platform: P_cm is the uncore turn-on cost,
+     * and PC6 parks the uncore once every core sleeps, so the OFF
+     * draw is P_idle alone (the paper's Section II-C charge-headroom
+     * example).  Set to cmPower for platforms whose management plane
+     * cannot sleep while charging; the ESD planner subtracts it from
+     * the charge headroom in Eq. 5.
+     */
+    Watts offPeriodCmPower = 0.0;
 
     /** Peak per-core dynamic power at f_max and full activity. */
     Watts corePeakPower = 2.7;

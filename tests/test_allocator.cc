@@ -6,7 +6,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "cf/profiler.hh"
 #include "core/power_allocator.hh"
@@ -235,6 +239,293 @@ TEST_F(AllocatorTest, LooseCapNeedsNoOffPeriod)
     ASSERT_TRUE(plan.viable);
     EXPECT_DOUBLE_EQ(plan.offFraction, 0.0);
     EXPECT_DOUBLE_EQ(plan.deficit, 0.0);
+}
+
+TEST_F(AllocatorTest, EsdChargeHeadroomAccountsOffPeriodCmPower)
+{
+    // Regression for the charge-headroom bug: when the management
+    // plane cannot sleep during OFF periods its draw must come out of
+    // the charge budget, which lengthens the OFF fraction per Eq. 5.
+    const auto &plat = defaultPlatform();
+    esd::BatteryConfig esd = esd::leadAcidUps();
+
+    // Default platform parks the uncore in PC6: full headroom.
+    EsdPlan parked = allocator.esdPlan(ptrs, plat.idlePower,
+                                       plat.cmPower, 80.0, esd);
+    ASSERT_TRUE(parked.viable);
+    EXPECT_DOUBLE_EQ(parked.chargePower,
+                     std::min(80.0 - plat.idlePower,
+                              esd.maxChargePower));
+
+    // Awake management plane: headroom shrinks by P_cm, pinning the
+    // corrected duty cycle (charge 80 - 50 - 20 = 10 W, not 30 W).
+    EsdPlan awake = allocator.esdPlan(ptrs, plat.idlePower,
+                                      plat.cmPower, 80.0, esd,
+                                      plat.cmPower);
+    ASSERT_TRUE(awake.viable);
+    EXPECT_DOUBLE_EQ(awake.chargePower, 10.0);
+    double off_over_on = awake.offFraction / (1.0 - awake.offFraction);
+    EXPECT_NEAR(off_over_on,
+                awake.deficit /
+                    (esd.roundTripEfficiency() * awake.chargePower),
+                1e-6);
+    // Less charge headroom means longer OFF periods and less
+    // delivered utility than the ignore-P_cm answer claimed.
+    EXPECT_GT(awake.offFraction, parked.offFraction);
+    EXPECT_LE(awake.objective, parked.objective + 1e-12);
+
+    // No headroom at all once the cap only covers idle + management.
+    EsdPlan starved = allocator.esdPlan(ptrs, plat.idlePower,
+                                        plat.cmPower,
+                                        plat.idlePower + plat.cmPower,
+                                        esd, plat.cmPower);
+    EXPECT_FALSE(starved.viable);
+}
+
+// --- Frontier DP, sweep sharing and the cross-event cache -----------------
+
+/** Exhaustive noiseless curves for every library workload. */
+std::vector<std::unique_ptr<UtilityCurve>>
+libraryCurves(const std::vector<power::KnobSetting> &settings)
+{
+    const auto &plat = defaultPlatform();
+    cf::Profiler prof(plat, 0.0);
+    Rng rng(1);
+    std::vector<std::unique_ptr<UtilityCurve>> out;
+    for (const auto &profile : perf::workloadLibrary()) {
+        perf::PerfModel model(plat, profile);
+        std::vector<double> p, h;
+        prof.measureAll(model, p, h, rng);
+        out.push_back(std::make_unique<UtilityCurve>(
+            profile.name, settings,
+            cf::UtilityEstimator::surfaceFromRows(p, h),
+            KnobFreedom::All));
+    }
+    return out;
+}
+
+/** Bit-for-bit equality of two allocations (the equivalence claim:
+ * frontier/incremental must reproduce the dense DP exactly, not
+ * approximately). */
+void
+expectSameAllocation(const Allocation &want, const Allocation &got)
+{
+    EXPECT_EQ(want.objective, got.objective);
+    EXPECT_EQ(want.used, got.used);
+    EXPECT_EQ(want.dynamicBudget, got.dynamicBudget);
+    ASSERT_EQ(want.apps.size(), got.apps.size());
+    for (std::size_t i = 0; i < want.apps.size(); ++i) {
+        const AppAllocation &w = want.apps[i];
+        const AppAllocation &g = got.apps[i];
+        EXPECT_EQ(w.app, g.app);
+        EXPECT_EQ(w.budget, g.budget);
+        EXPECT_EQ(w.expectedPerf, g.expectedPerf);
+        ASSERT_EQ(w.scheduled(), g.scheduled());
+        if (w.scheduled()) {
+            EXPECT_EQ(w.point->power, g.point->power);
+        }
+    }
+}
+
+AllocatorConfig
+denseConfig()
+{
+    AllocatorConfig cfg;
+    cfg.denseDp = true;
+    return cfg;
+}
+
+TEST_F(AllocatorTest, FrontierMatchesDenseDpExactly)
+{
+    PowerAllocator dense(denseConfig());
+    for (double budget = 4.0; budget <= 50.0; budget += 0.7) {
+        SCOPED_TRACE(budget);
+        expectSameAllocation(dense.allocate(ptrs, budget),
+                             allocator.allocate(ptrs, budget));
+    }
+}
+
+TEST_F(AllocatorTest, EsdSweepSharingMatchesDense)
+{
+    const auto &plat = defaultPlatform();
+    esd::BatteryConfig esd = esd::leadAcidUps();
+    PowerAllocator dense(denseConfig());
+    for (double cap : {62.0, 68.0, 70.0, 75.0, 80.0, 90.0, 110.0,
+                       150.0}) {
+        SCOPED_TRACE(cap);
+        EsdPlan want = dense.esdPlan(ptrs, plat.idlePower,
+                                     plat.cmPower, cap, esd);
+        EsdPlan got = allocator.esdPlan(ptrs, plat.idlePower,
+                                        plat.cmPower, cap, esd);
+        ASSERT_EQ(want.viable, got.viable);
+        EXPECT_EQ(want.objective, got.objective);
+        EXPECT_EQ(want.offFraction, got.offFraction);
+        EXPECT_EQ(want.deficit, got.deficit);
+        EXPECT_EQ(want.chargePower, got.chargePower);
+        if (want.viable)
+            expectSameAllocation(want.onAllocation, got.onAllocation);
+    }
+}
+
+TEST(AllocatorEquivalence, CacheMatchesDenseAcrossRandomEvents)
+{
+    // The satellite property test: replay a seeded arrival/departure/
+    // budget-change/recalibration tape at k in [1, 8] and demand the
+    // cache-served allocation equal the dense baseline bit-for-bit at
+    // every step.
+    const auto &plat = defaultPlatform();
+    auto settings = plat.knobSpace();
+    auto pool = libraryCurves(settings);
+    ASSERT_GE(pool.size(), 8u);
+
+    Rng rng(20260806);
+    PowerAllocator dense(denseConfig());
+    PowerAllocator fast;
+    Telemetry tel;
+    fast.setTelemetry(&tel);
+    AllocatorCache cache;
+    std::uint64_t epoch = 1;
+
+    std::vector<std::size_t> active = {0, 1, 2, 3};
+    std::vector<std::size_t> parked;
+    for (std::size_t i = 4; i < pool.size(); ++i)
+        parked.push_back(i);
+    double budget = 40.0;
+
+    for (int ev = 0; ev < 160; ++ev) {
+        switch (rng.uniformInt(0, 3)) {
+          case 0: // arrival appends (activeIds() is id-ordered)
+            if (active.size() < 8 && !parked.empty()) {
+                std::size_t slot = static_cast<std::size_t>(
+                    rng.uniformInt(0,
+                                   static_cast<int>(parked.size()) -
+                                       1));
+                active.push_back(parked[slot]);
+                parked.erase(parked.begin() +
+                             static_cast<long>(slot));
+            }
+            break;
+          case 1: // departure of a random slot
+            if (active.size() > 1) {
+                std::size_t slot = static_cast<std::size_t>(
+                    rng.uniformInt(0,
+                                   static_cast<int>(active.size()) -
+                                       1));
+                parked.push_back(active[slot]);
+                active.erase(active.begin() +
+                             static_cast<long>(slot));
+            }
+            break;
+          case 2: // cap change
+            budget = rng.uniform(
+                2.0, 16.0 * static_cast<double>(active.size()));
+            break;
+          case 3: // recalibration bumps the surface epoch
+            ++epoch;
+            break;
+        }
+        std::vector<const UtilityCurve *> curves;
+        for (std::size_t ix : active)
+            curves.push_back(pool[ix].get());
+
+        SCOPED_TRACE(ev);
+        Allocation want = dense.allocate(curves, budget);
+        expectSameAllocation(want, fast.allocate(curves, budget));
+        expectSameAllocation(
+            want, fast.allocate(curves, budget, &cache, epoch));
+    }
+
+    // The tape must have exercised every cache serve mode, or the
+    // equivalence above proved less than it claims.
+    EXPECT_GT(tel.counter("allocator.dp_rebuilds"), 0u);
+    EXPECT_GT(tel.counter("allocator.dp_full_hits"), 0u);
+    EXPECT_GT(tel.counter("allocator.dp_extends"), 0u);
+    EXPECT_GT(tel.counter("allocator.dp_combines"), 0u);
+}
+
+TEST_F(AllocatorTest, CacheInvalidatesOnEpochBump)
+{
+    Telemetry tel;
+    PowerAllocator fast;
+    fast.setTelemetry(&tel);
+    AllocatorCache cache;
+
+    Allocation first = fast.allocate(ptrs, 30.0, &cache, 1);
+    EXPECT_EQ(tel.counter("allocator.dp_rebuilds"), 1u);
+
+    Allocation again = fast.allocate(ptrs, 30.0, &cache, 1);
+    EXPECT_EQ(tel.counter("allocator.dp_full_hits"), 1u);
+    EXPECT_EQ(tel.counter("allocator.dp_rebuilds"), 1u);
+    expectSameAllocation(first, again);
+
+    // A recalibration epoch invalidates everything cached.
+    Allocation bumped = fast.allocate(ptrs, 30.0, &cache, 2);
+    EXPECT_EQ(tel.counter("allocator.dp_rebuilds"), 2u);
+    expectSameAllocation(first, bumped);
+
+    // Epoch 0 means no epoch discipline: the cache must be bypassed,
+    // not trusted.
+    fast.allocate(ptrs, 30.0, &cache, 0);
+    EXPECT_EQ(tel.counter("allocator.dp_rebuilds"), 2u);
+    EXPECT_EQ(tel.counter("allocator.dp_full_hits"), 1u);
+}
+
+TEST_F(AllocatorTest, SlackUpgradeKeepsGrantedBudget)
+{
+    // Regression for the slack-pass bug that overwrote an app's grant
+    // with its operating point's draw: every chosen point must fit
+    // inside the granted budget (a slack upgrade widens the grant, it
+    // never shrinks it below the draw), and `used` stays the sum of
+    // actual draws.
+    for (double budget : {8.0, 12.0, 20.0, 29.4, 45.0}) {
+        SCOPED_TRACE(budget);
+        Allocation alloc = allocator.allocate(ptrs, budget);
+        double draw = 0.0;
+        for (const auto &a : alloc.apps) {
+            if (!a.scheduled())
+                continue;
+            EXPECT_LE(a.point->power, a.budget + 1e-9);
+            draw += a.point->power;
+        }
+        EXPECT_NEAR(alloc.used, draw, 1e-9);
+        EXPECT_LE(alloc.used, budget + 1e-6);
+    }
+}
+
+TEST(AllocatorTemporal, WeightedFloorSurvivesRenormalization)
+{
+    // Two single-point curves with a 6x perf-per-watt spread: the old
+    // floor-then-renormalize scheme diluted the weak app back below
+    // the floor (~0.26 here); the water-fill must hold it at exactly
+    // floor/n and hand the remainder to the strong app.
+    const auto &plat = defaultPlatform();
+    std::vector<power::KnobSetting> one = {plat.knobSpace().front()};
+    UtilityCurve strong("strong", one,
+                        cf::UtilityEstimator::surfaceFromRows(
+                            {5.0}, {1000.0}),
+                        KnobFreedom::All);
+    UtilityCurve weak("weak", one,
+                      cf::UtilityEstimator::surfaceFromRows(
+                          {30.0}, {90.0}),
+                      KnobFreedom::All);
+    std::vector<const UtilityCurve *> pair = {&strong, &weak};
+
+    AllocatorConfig cfg;
+    cfg.shareFloor = 0.6;
+    PowerAllocator floored(cfg);
+    TemporalPlan plan =
+        floored.temporalPlan(pair, 35.0, ShareMode::UtilityWeighted);
+    ASSERT_EQ(plan.slots.size(), 2u);
+    double total = 0.0;
+    for (const auto &s : plan.slots) {
+        EXPECT_GE(s.share, 0.6 / 2.0 - 1e-9) << s.app;
+        total += s.share;
+        if (s.app == "weak")
+            EXPECT_NEAR(s.share, 0.3, 1e-9);
+        else
+            EXPECT_NEAR(s.share, 0.7, 1e-9);
+    }
+    EXPECT_NEAR(total, 1.0, 1e-9);
 }
 
 } // namespace

@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <memory>
 #include <sstream>
 
@@ -167,6 +168,37 @@ TEST(LearningPipeline, OnlineCalibrationChargesWallClock)
     EXPECT_TRUE(pipe.calibrated(id));
     EXPECT_GT(pipe.lastCalibrationLatency(), 0);
     EXPECT_EQ(tel.counter("learning.calibrations_finished"), 1u);
+}
+
+TEST(LearningPipeline, SurfaceEpochTracksRecalibrationsAndRearrivals)
+{
+    // The epoch gates the allocator's cross-event DP cache: it must
+    // move exactly when a live utility surface can change under the
+    // cache's feet, and stay put otherwise (first contact is an
+    // arrival the cache absorbs incrementally).
+    sim::Server server;
+    LearningConfig lc;
+    lc.oracleUtilities = true;
+    Telemetry tel;
+    LearningPipeline pipe(server, lc, &tel);
+    pipe.seedCorpus(workloadLibrary());
+
+    std::uint64_t e0 = pipe.surfaceEpoch();
+    int id = server.admit(workload("stream"));
+    pipe.track(id, "stream"); // first-time name: no bump
+    EXPECT_EQ(pipe.surfaceEpoch(), e0);
+    EXPECT_TRUE(pipe.startCalibration(id)); // first surface: no bump
+    EXPECT_EQ(pipe.surfaceEpoch(), e0);
+    EXPECT_TRUE(pipe.startCalibration(id)); // recalibration: bump
+    EXPECT_EQ(pipe.surfaceEpoch(), e0 + 1);
+
+    // A same-name re-arrival could alias the departed app's cached
+    // frontier, so it must bump even though the app id is fresh.
+    pipe.forget(id);
+    EXPECT_EQ(pipe.surfaceEpoch(), e0 + 1);
+    int id2 = server.admit(workload("stream"));
+    pipe.track(id2, "stream");
+    EXPECT_EQ(pipe.surfaceEpoch(), e0 + 2);
 }
 
 // --- PlanSelector -----------------------------------------------------------
