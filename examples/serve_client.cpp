@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Serving example: talk to the power-struggle mediator over its wire
+ * protocol — submit an arrival, change the cap, advance time, and
+ * read telemetry back.
+ *
+ * Runs standalone: the daemon is hosted in-process over a socketpair,
+ * so no port or separate process is needed.  Against a real daemon
+ * (`./build/src/serve/psm-served --port 7633`) replace the
+ * socketpair adoption with:
+ *
+ *   client.connectTcp("127.0.0.1", 7633);
+ *
+ * Build & run:
+ *   cmake -B build -G Ninja && cmake --build build
+ *   ./build/examples/serve_client
+ */
+
+#include <cstdio>
+
+#include "serve/client.hh"
+#include "serve/service.hh"
+
+using namespace psm;
+
+int
+main()
+{
+    // 1. Host the daemon in-process: two managed servers behind the
+    //    serving protocol.
+    serve::ServiceConfig config;
+    config.engine.nodes = 2;
+    config.engine.serverCap = 100.0;
+    serve::ServeService service(config);
+    int fd = service.openLocalConnection();
+    service.start();
+
+    // 2. Connect and shake hands.
+    serve::Client client;
+    client.adopt(fd);
+    serve::HelloReply hello;
+    if (!client.hello("serve-example", hello)) {
+        std::fprintf(stderr, "handshake failed\n");
+        return 1;
+    }
+    std::printf("connected to %s (protocol v%u)\n",
+                hello.server.c_str(), hello.version);
+
+    // 3. An application arrives; the daemon routes it to the node
+    //    with the most free sockets.
+    serve::EventRequest arrival;
+    arrival.op = serve::EventOp::Arrival;
+    arrival.workload = 0; // workloadLibrary() index
+    arrival.node = -1;    // let the daemon place it
+    serve::EventReply reply;
+    client.submit(arrival, reply);
+    std::printf("arrival: %s -> node %d app %d (digest %016llx)\n",
+                serve::replyStatusName(reply.status).c_str(),
+                reply.node, reply.appId,
+                static_cast<unsigned long long>(reply.digest.hash));
+
+    // 4. The facility lowers every cap to 80 W (event E1), then the
+    //    cluster runs for two simulated seconds.
+    serve::EventRequest cap;
+    cap.op = serve::EventOp::CapChange;
+    cap.node = -1; // broadcast
+    cap.value = 80.0;
+    client.submit(cap, reply);
+
+    serve::EventRequest advance;
+    advance.op = serve::EventOp::Advance;
+    advance.value = 2.0;
+    client.submit(advance, reply);
+    std::printf("advanced to t=%llu ticks, %u active app(s), "
+                "%llu allocator pass(es)\n",
+                static_cast<unsigned long long>(reply.digest.simNow),
+                reply.digest.activeApps,
+                static_cast<unsigned long long>(reply.digest.passes));
+
+    // 5. Telemetry: a full snapshot, then one counter by name.
+    serve::StatsSnapshot stats;
+    client.stats(stats);
+    std::printf("stats: %u node(s), %llu event(s) applied in %llu "
+                "batch(es), %.2f events/batch\n",
+                stats.nodes,
+                static_cast<unsigned long long>(stats.eventsApplied),
+                static_cast<unsigned long long>(stats.batches),
+                stats.eventsPerBatch());
+
+    serve::QueryReply polls;
+    client.query("control.polls", polls);
+    if (polls.found)
+        std::printf("control.polls = %llu\n",
+                    static_cast<unsigned long long>(polls.value));
+
+    // 6. Done: ask the daemon to shut down (a real deployment would
+    //    leave it running for the next client).
+    client.shutdownServer();
+    service.stop();
+    return 0;
+}

@@ -114,6 +114,27 @@ ServerManager::setCap(Watts cap)
     control.accountant().notifyCapChange(cap);
 }
 
+bool
+ServerManager::nameActive(const std::string &name) const
+{
+    for (const auto &[id, r] : app_records) {
+        if (!r.done && r.name == name)
+            return true;
+    }
+    return false;
+}
+
+bool
+ServerManager::killApp(int id)
+{
+    auto it = app_records.find(id);
+    if (it == app_records.end() || it->second.done || !srv.hasApp(id))
+        return false;
+    it->second.beats = srv.app(id).heartbeats().total();
+    srv.remove(id);
+    return true;
+}
+
 std::vector<int>
 ServerManager::activeIds() const
 {

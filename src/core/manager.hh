@@ -159,6 +159,26 @@ class ServerManager : private ControlLoop::Delegate
     /** Change the server cap (event E1; applied at the next poll). */
     void setCap(Watts cap);
 
+    /**
+     * True while an app of this name occupies a live record — the
+     * same test addApp() fatals on.  Callers admitting external
+     * requests (the serving daemon) use this to pre-validate, since a
+     * finished app's record stays live until the next poll retires it.
+     */
+    bool nameActive(const std::string &name) const;
+
+    /**
+     * Externally terminate an application (event E3 from outside the
+     * simulation: the serving daemon's kill entry point, mirroring
+     * the fault injector's app-kill path).  Harvests the app's
+     * heartbeats and removes it from the server; the Accountant's
+     * next poll emits the synthetic departure that retires the
+     * record and replans.
+     *
+     * @return false when the id is unknown or the app already ended.
+     */
+    bool killApp(int id);
+
     /** Drive the managed server forward. */
     void run(Tick duration);
 

@@ -1,0 +1,204 @@
+#include "frame.hh"
+
+#include <algorithm>
+#include <cstring>
+
+namespace psm::net
+{
+
+bool
+validFrameType(std::uint8_t raw)
+{
+    return raw >= static_cast<std::uint8_t>(FrameType::Hello) &&
+           raw <= static_cast<std::uint8_t>(FrameType::Error);
+}
+
+std::string
+frameTypeName(FrameType type)
+{
+    switch (type) {
+      case FrameType::Hello:
+        return "HELLO";
+      case FrameType::HelloAck:
+        return "HELLO-ACK";
+      case FrameType::Event:
+        return "EVENT";
+      case FrameType::EventReply:
+        return "EVENT-REPLY";
+      case FrameType::Query:
+        return "QUERY";
+      case FrameType::QueryReply:
+        return "QUERY-REPLY";
+      case FrameType::Stats:
+        return "STATS";
+      case FrameType::StatsReply:
+        return "STATS-REPLY";
+      case FrameType::Shutdown:
+        return "SHUTDOWN";
+      case FrameType::ShutdownAck:
+        return "SHUTDOWN-ACK";
+      case FrameType::Error:
+        return "ERROR";
+    }
+    return "UNKNOWN";
+}
+
+namespace
+{
+
+void
+putLe32(std::vector<std::uint8_t> &out, std::uint32_t v)
+{
+    out.push_back(static_cast<std::uint8_t>(v & 0xff));
+    out.push_back(static_cast<std::uint8_t>((v >> 8) & 0xff));
+    out.push_back(static_cast<std::uint8_t>((v >> 16) & 0xff));
+    out.push_back(static_cast<std::uint8_t>((v >> 24) & 0xff));
+}
+
+} // namespace
+
+void
+encodeFrame(FrameType type, std::uint32_t request_id,
+            const std::vector<std::uint8_t> &payload,
+            std::vector<std::uint8_t> &out)
+{
+    out.reserve(out.size() + kHeaderSize + payload.size());
+    out.push_back(kMagic0);
+    out.push_back(kMagic1);
+    out.push_back(kProtocolVersion);
+    out.push_back(static_cast<std::uint8_t>(type));
+    putLe32(out, request_id);
+    putLe32(out, static_cast<std::uint32_t>(payload.size()));
+    out.insert(out.end(), payload.begin(), payload.end());
+}
+
+std::vector<std::uint8_t>
+encodeFrame(const Frame &frame)
+{
+    std::vector<std::uint8_t> out;
+    encodeFrame(frame.type, frame.requestId, frame.payload, out);
+    return out;
+}
+
+// --- WireWriter ----------------------------------------------------
+
+void
+WireWriter::putU16(std::uint16_t v)
+{
+    buf.push_back(static_cast<std::uint8_t>(v & 0xff));
+    buf.push_back(static_cast<std::uint8_t>((v >> 8) & 0xff));
+}
+
+void
+WireWriter::putU32(std::uint32_t v)
+{
+    putU16(static_cast<std::uint16_t>(v & 0xffff));
+    putU16(static_cast<std::uint16_t>(v >> 16));
+}
+
+void
+WireWriter::putU64(std::uint64_t v)
+{
+    putU32(static_cast<std::uint32_t>(v & 0xffffffffu));
+    putU32(static_cast<std::uint32_t>(v >> 32));
+}
+
+void
+WireWriter::putI32(std::int32_t v)
+{
+    putU32(static_cast<std::uint32_t>(v));
+}
+
+void
+WireWriter::putF64(double v)
+{
+    std::uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(v));
+    std::memcpy(&bits, &v, sizeof(bits));
+    putU64(bits);
+}
+
+void
+WireWriter::putString(const std::string &s)
+{
+    std::size_t len = std::min<std::size_t>(s.size(), 0xffff);
+    putU16(static_cast<std::uint16_t>(len));
+    buf.insert(buf.end(), s.begin(), s.begin() + len);
+}
+
+// --- WireReader ----------------------------------------------------
+
+bool
+WireReader::take(std::size_t count, const std::uint8_t *&out)
+{
+    if (failed || n - pos < count) {
+        failed = true;
+        return false;
+    }
+    out = p + pos;
+    pos += count;
+    return true;
+}
+
+std::uint8_t
+WireReader::u8()
+{
+    const std::uint8_t *b;
+    return take(1, b) ? b[0] : 0;
+}
+
+std::uint16_t
+WireReader::u16()
+{
+    const std::uint8_t *b;
+    if (!take(2, b))
+        return 0;
+    return static_cast<std::uint16_t>(b[0] | (b[1] << 8));
+}
+
+std::uint32_t
+WireReader::u32()
+{
+    const std::uint8_t *b;
+    if (!take(4, b))
+        return 0;
+    return static_cast<std::uint32_t>(b[0]) |
+           (static_cast<std::uint32_t>(b[1]) << 8) |
+           (static_cast<std::uint32_t>(b[2]) << 16) |
+           (static_cast<std::uint32_t>(b[3]) << 24);
+}
+
+std::uint64_t
+WireReader::u64()
+{
+    std::uint64_t lo = u32();
+    std::uint64_t hi = u32();
+    return lo | (hi << 32);
+}
+
+std::int32_t
+WireReader::i32()
+{
+    return static_cast<std::int32_t>(u32());
+}
+
+double
+WireReader::f64()
+{
+    std::uint64_t bits = u64();
+    double v;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+}
+
+std::string
+WireReader::str()
+{
+    std::uint16_t len = u16();
+    const std::uint8_t *b;
+    if (!take(len, b))
+        return std::string();
+    return std::string(reinterpret_cast<const char *>(b), len);
+}
+
+} // namespace psm::net

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * The wire format of the serving daemon: length-prefixed binary
+ * frames with a versioned fixed header.
+ *
+ * Every frame is
+ *
+ *   offset  size  field
+ *        0     2  magic "PS"
+ *        2     1  protocol version (kProtocolVersion)
+ *        3     1  frame type (FrameType)
+ *        4     4  request id (little-endian; echoed in replies)
+ *        8     4  payload length (little-endian, <= kMaxPayload)
+ *       12     N  payload
+ *
+ * The payload encoding is frame-type specific (src/serve/protocol.hh);
+ * this layer only moves validated byte vectors.  All multi-byte
+ * integers are little-endian regardless of host order, and doubles
+ * travel as the little-endian bytes of their IEEE-754 bit pattern, so
+ * a trace recorded on one host replays bit-exactly on another.
+ */
+
+#ifndef PSM_NET_FRAME_HH
+#define PSM_NET_FRAME_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace psm::net
+{
+
+constexpr std::uint8_t kMagic0 = 'P';
+constexpr std::uint8_t kMagic1 = 'S';
+constexpr std::uint8_t kProtocolVersion = 1;
+constexpr std::size_t kHeaderSize = 12;
+/** Upper bound on a single frame's payload; larger lengths are a
+ * protocol violation, not a big message. */
+constexpr std::size_t kMaxPayload = 64 * 1024;
+
+/** Every frame kind of the protocol. */
+enum class FrameType : std::uint8_t
+{
+    Hello = 1,    ///< client handshake (version + name)
+    HelloAck,     ///< server handshake reply
+    Event,        ///< one E1-E4 submission (serve::EventRequest)
+    EventReply,   ///< decision/shed/expiry reply (serve::EventReply)
+    Query,        ///< telemetry counter lookup by name
+    QueryReply,   ///< counter value (or not-found)
+    Stats,        ///< full service snapshot request (empty payload)
+    StatsReply,   ///< serve::StatsSnapshot
+    Shutdown,     ///< ask the daemon to stop (empty payload)
+    ShutdownAck,  ///< daemon acknowledges; it stops afterwards
+    Error,        ///< request-level failure (string message)
+};
+
+/** True when @p raw names a defined FrameType. */
+bool validFrameType(std::uint8_t raw);
+
+/** Printable frame-type name. */
+std::string frameTypeName(FrameType type);
+
+/** One decoded frame. */
+struct Frame
+{
+    FrameType type = FrameType::Error;
+    std::uint32_t requestId = 0;
+    std::vector<std::uint8_t> payload;
+};
+
+/** Append one encoded frame to @p out. */
+void encodeFrame(FrameType type, std::uint32_t request_id,
+                 const std::vector<std::uint8_t> &payload,
+                 std::vector<std::uint8_t> &out);
+
+/** Convenience: encode into a fresh buffer. */
+std::vector<std::uint8_t> encodeFrame(const Frame &frame);
+
+/**
+ * Little-endian payload builder.  Appending never fails; take() moves
+ * the buffer out.
+ */
+class WireWriter
+{
+  public:
+    void putU8(std::uint8_t v) { buf.push_back(v); }
+    void putU16(std::uint16_t v);
+    void putU32(std::uint32_t v);
+    void putU64(std::uint64_t v);
+    void putI32(std::int32_t v);
+    /** IEEE-754 bit pattern, little-endian. */
+    void putF64(double v);
+    /** u16 byte length followed by the bytes (no terminator). */
+    void putString(const std::string &s);
+
+    const std::vector<std::uint8_t> &bytes() const { return buf; }
+    std::vector<std::uint8_t> take() { return std::move(buf); }
+
+  private:
+    std::vector<std::uint8_t> buf;
+};
+
+/**
+ * Bounds-checked little-endian payload parser.  A read past the end
+ * (or a malformed string) latches the fail flag and returns zero
+ * values; callers check good() once after parsing a whole payload.
+ */
+class WireReader
+{
+  public:
+    WireReader(const std::uint8_t *data, std::size_t len)
+        : p(data), n(len)
+    {
+    }
+    explicit WireReader(const std::vector<std::uint8_t> &payload)
+        : WireReader(payload.data(), payload.size())
+    {
+    }
+
+    std::uint8_t u8();
+    std::uint16_t u16();
+    std::uint32_t u32();
+    std::uint64_t u64();
+    std::int32_t i32();
+    double f64();
+    std::string str();
+
+    /** No read failed so far. */
+    bool good() const { return !failed; }
+    /** Every payload byte was consumed (trailing garbage check). */
+    bool atEnd() const { return pos == n; }
+
+  private:
+    const std::uint8_t *p;
+    std::size_t n;
+    std::size_t pos = 0;
+    bool failed = false;
+
+    bool take(std::size_t count, const std::uint8_t *&out);
+};
+
+} // namespace psm::net
+
+#endif // PSM_NET_FRAME_HH

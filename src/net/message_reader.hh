@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Incremental frame decoding for non-blocking sockets.
+ *
+ * A FrameReader accumulates whatever byte slices the reactor's reads
+ * produce — a frame may arrive in one read, split across many, or
+ * glued to its neighbours — and yields complete, validated frames.
+ * Malformed input (bad magic, unknown version or type, oversized
+ * length) latches an error: framing is unrecoverable once the stream
+ * desynchronizes, so the owning connection must be dropped.
+ */
+
+#ifndef PSM_NET_MESSAGE_READER_HH
+#define PSM_NET_MESSAGE_READER_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "frame.hh"
+
+namespace psm::net
+{
+
+/** Outcome of one FrameReader::next() call. */
+enum class DecodeResult
+{
+    NeedMore, ///< no complete frame buffered yet
+    Frame,    ///< one frame produced
+    Error,    ///< stream corrupt; drop the connection
+};
+
+class FrameReader
+{
+  public:
+    /** Append @p len raw bytes from the socket. */
+    void
+    feed(const std::uint8_t *data, std::size_t len)
+    {
+        buf.insert(buf.end(), data, data + len);
+    }
+
+    void
+    feed(const std::vector<std::uint8_t> &bytes)
+    {
+        feed(bytes.data(), bytes.size());
+    }
+
+    /**
+     * Try to decode the next frame into @p out.  Call repeatedly
+     * until it stops returning Frame — one feed() may complete
+     * several frames.
+     */
+    DecodeResult
+    next(Frame &out)
+    {
+        if (failed)
+            return DecodeResult::Error;
+        std::size_t avail = buf.size() - rd;
+        if (avail < kHeaderSize)
+            return DecodeResult::NeedMore;
+
+        const std::uint8_t *h = buf.data() + rd;
+        if (h[0] != kMagic0 || h[1] != kMagic1)
+            return fail("bad frame magic");
+        if (h[2] != kProtocolVersion)
+            return fail("unsupported protocol version " +
+                        std::to_string(h[2]));
+        if (!validFrameType(h[3]))
+            return fail("unknown frame type " + std::to_string(h[3]));
+        std::uint32_t req = le32(h + 4);
+        std::uint32_t len = le32(h + 8);
+        if (len > kMaxPayload)
+            return fail("oversized payload (" + std::to_string(len) +
+                        " bytes)");
+        if (avail < kHeaderSize + len)
+            return DecodeResult::NeedMore;
+
+        out.type = static_cast<FrameType>(h[3]);
+        out.requestId = req;
+        out.payload.assign(h + kHeaderSize, h + kHeaderSize + len);
+        rd += kHeaderSize + len;
+        compact();
+        return DecodeResult::Frame;
+    }
+
+    /** Why the stream failed (empty while healthy). */
+    const std::string &error() const { return err; }
+
+    /** Bytes buffered but not yet consumed. */
+    std::size_t buffered() const { return buf.size() - rd; }
+
+    /** Forget everything, including a latched error. */
+    void
+    reset()
+    {
+        buf.clear();
+        rd = 0;
+        failed = false;
+        err.clear();
+    }
+
+  private:
+    std::vector<std::uint8_t> buf;
+    std::size_t rd = 0;
+    bool failed = false;
+    std::string err;
+
+    static std::uint32_t
+    le32(const std::uint8_t *b)
+    {
+        return static_cast<std::uint32_t>(b[0]) |
+               (static_cast<std::uint32_t>(b[1]) << 8) |
+               (static_cast<std::uint32_t>(b[2]) << 16) |
+               (static_cast<std::uint32_t>(b[3]) << 24);
+    }
+
+    DecodeResult
+    fail(std::string why)
+    {
+        failed = true;
+        err = std::move(why);
+        return DecodeResult::Error;
+    }
+
+    /** Drop consumed bytes once they dominate the buffer, keeping
+     * amortized O(1) per byte. */
+    void
+    compact()
+    {
+        if (rd == buf.size()) {
+            buf.clear();
+            rd = 0;
+        } else if (rd > 4096 && rd > buf.size() / 2) {
+            buf.erase(buf.begin(),
+                      buf.begin() + static_cast<std::ptrdiff_t>(rd));
+            rd = 0;
+        }
+    }
+};
+
+} // namespace psm::net
+
+#endif // PSM_NET_MESSAGE_READER_HH

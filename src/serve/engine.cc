@@ -1,0 +1,305 @@
+#include "engine.hh"
+
+#include <cstring>
+
+#include "esd/battery.hh"
+#include "perf/workloads.hh"
+#include "sim/application.hh"
+
+namespace psm::serve
+{
+
+namespace
+{
+
+cluster::NodePoolConfig
+poolConfig(const EngineConfig &cfg)
+{
+    cluster::NodePoolConfig pc;
+    pc.servers = cfg.nodes > 0 ? cfg.nodes : 1;
+    pc.managed = true;
+    pc.manager = cfg.manager;
+    pc.seedBase = cfg.seedBase;
+    pc.serverCap = cfg.serverCap;
+    pc.seedWorkloadCorpus = cfg.seedCorpus;
+    if (cfg.esd)
+        pc.esd = esd::leadAcidUps();
+    return pc;
+}
+
+constexpr std::uint64_t kFnvOffset = 14695981039346656037ULL;
+constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+
+void
+mix(std::uint64_t &h, std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i) {
+        h ^= (v >> (i * 8)) & 0xff;
+        h *= kFnvPrime;
+    }
+}
+
+void
+mixF(std::uint64_t &h, double v)
+{
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    mix(h, bits);
+}
+
+void
+mixS(std::uint64_t &h, const std::string &s)
+{
+    mix(h, s.size());
+    for (char c : s) {
+        h ^= static_cast<std::uint8_t>(c);
+        h *= kFnvPrime;
+    }
+}
+
+} // namespace
+
+ServeEngine::ServeEngine(const EngineConfig &config)
+    : cfg(config), pool_(poolConfig(config)),
+      period(config.manager.controlPeriod)
+{
+}
+
+core::ServerManager &
+ServeEngine::managerAt(int ix)
+{
+    return *pool_[static_cast<std::size_t>(ix)].manager;
+}
+
+const core::ServerManager &
+ServeEngine::managerAt(int ix) const
+{
+    return *pool_[static_cast<std::size_t>(ix)].manager;
+}
+
+bool
+ServeEngine::validNode(std::int32_t node) const
+{
+    return node >= 0 && node < nodeCount();
+}
+
+bool
+ServeEngine::nameActiveOn(int node, const std::string &name) const
+{
+    // Defer to the manager's record book, not Application::finished():
+    // a finished app's record stays live until the next poll retires
+    // it, and addApp() fatals on the record, so the pre-check must
+    // agree with it exactly.
+    return managerAt(node).nameActive(name);
+}
+
+int
+ServeEngine::routeArrival(const std::string &name) const
+{
+    // Most free sockets wins; ties go to the lowest index so routing
+    // is a pure function of cluster state.
+    int best = -1;
+    int best_free = 0;
+    for (int ix = 0; ix < nodeCount(); ++ix) {
+        const sim::Server &srv =
+            *pool_[static_cast<std::size_t>(ix)].server;
+        int free = srv.freeSockets();
+        if (free > best_free && !nameActiveOn(ix, name)) {
+            best = ix;
+            best_free = free;
+        }
+    }
+    return best;
+}
+
+ApplyOutcome
+ServeEngine::apply(const EventRequest &ev)
+{
+    switch (ev.op) {
+      case EventOp::Advance:
+        return applyAdvance(ev);
+      case EventOp::CapChange:
+        return applyCapChange(ev);
+      case EventOp::Arrival:
+        return applyArrival(ev);
+      case EventOp::PhaseChange:
+        return applyPhaseChange(ev);
+      case EventOp::Kill:
+        return applyKill(ev);
+    }
+    return {ReplyStatus::BadRequest, -1, -1};
+}
+
+ApplyOutcome
+ServeEngine::applyAdvance(const EventRequest &ev)
+{
+    if (!(ev.value > 0.0) || ev.value > cfg.maxAdvance)
+        return {ReplyStatus::BadRequest, -1, -1};
+    pool_.runAll(toTicks(ev.value));
+    return {ReplyStatus::Ok, -1, -1};
+}
+
+ApplyOutcome
+ServeEngine::applyCapChange(const EventRequest &ev)
+{
+    if (ev.value < 0.0)
+        return {ReplyStatus::BadRequest, -1, -1};
+    if (ev.node == -1) {
+        // Broadcast: the cluster driver lowering every cap at once.
+        for (int ix = 0; ix < nodeCount(); ++ix)
+            managerAt(ix).setCap(ev.value);
+        return {ReplyStatus::Ok, -1, -1};
+    }
+    if (!validNode(ev.node))
+        return {ReplyStatus::BadRequest, -1, -1};
+    managerAt(ev.node).setCap(ev.value);
+    return {ReplyStatus::Ok, ev.node, -1};
+}
+
+ApplyOutcome
+ServeEngine::applyArrival(const EventRequest &ev)
+{
+    const auto &library = perf::workloadLibrary();
+    if (ev.workload >= library.size())
+        return {ReplyStatus::BadRequest, -1, -1};
+    const perf::AppProfile &profile = library[ev.workload];
+
+    int node = ev.node;
+    if (node == -1) {
+        node = routeArrival(profile.name);
+        if (node == -1)
+            return {ReplyStatus::Rejected, -1, -1};
+    } else {
+        if (!validNode(node))
+            return {ReplyStatus::BadRequest, -1, -1};
+        // addApp() treats a full server or a duplicate active name as
+        // programmer error; over the wire they are client errors, so
+        // pre-validate instead of letting the framework fatal().
+        const sim::Server &srv =
+            *pool_[static_cast<std::size_t>(node)].server;
+        if (srv.freeSockets() <= 0 || nameActiveOn(node, profile.name))
+            return {ReplyStatus::Rejected, node, -1};
+    }
+    int id = managerAt(node).addApp(profile);
+    return {ReplyStatus::Ok, node, id};
+}
+
+ApplyOutcome
+ServeEngine::applyPhaseChange(const EventRequest &ev)
+{
+    if (!validNode(ev.node))
+        return {ReplyStatus::BadRequest, -1, -1};
+    if (!(ev.cpuScale > 0.0) || !(ev.memScale > 0.0))
+        return {ReplyStatus::BadRequest, ev.node, ev.appId};
+    sim::Server &srv = *pool_[static_cast<std::size_t>(ev.node)].server;
+    if (!srv.hasApp(ev.appId) || srv.app(ev.appId).finished())
+        return {ReplyStatus::Rejected, ev.node, ev.appId};
+    // One flat phase covering the rest of the run; the drift detector
+    // (E4) notices the rate change at a later poll, exactly as when
+    // the scenario layer rescales phases.
+    srv.app(ev.appId).setPhases({{1.0, ev.cpuScale, ev.memScale}});
+    return {ReplyStatus::Ok, ev.node, ev.appId};
+}
+
+ApplyOutcome
+ServeEngine::applyKill(const EventRequest &ev)
+{
+    if (!validNode(ev.node))
+        return {ReplyStatus::BadRequest, -1, -1};
+    if (!managerAt(ev.node).killApp(ev.appId))
+        return {ReplyStatus::Rejected, ev.node, ev.appId};
+    return {ReplyStatus::Ok, ev.node, ev.appId};
+}
+
+DecisionDigest
+ServeEngine::commit()
+{
+    pool_.runAll(period);
+    return digest();
+}
+
+DecisionDigest
+ServeEngine::digest() const
+{
+    DecisionDigest d;
+    std::uint64_t h = kFnvOffset;
+    for (int ix = 0; ix < nodeCount(); ++ix) {
+        const sim::Server &srv =
+            *pool_[static_cast<std::size_t>(ix)].server;
+        const core::ServerManager &mgr = managerAt(ix);
+        mix(h, static_cast<std::uint64_t>(ix));
+        mix(h, srv.now());
+        mixF(h, srv.cap());
+        mix(h, mgr.reallocationCount());
+        mix(h, mgr.eventLog().size());
+        mix(h, static_cast<std::uint64_t>(mgr.mode()));
+        const core::Allocation &alloc = mgr.lastAllocation();
+        mix(h, alloc.apps.size());
+        mixF(h, alloc.dynamicBudget);
+        mixF(h, alloc.used);
+        mixF(h, alloc.objective);
+        for (const core::AppAllocation &app : alloc.apps) {
+            mixS(h, app.app);
+            mixF(h, app.budget);
+            mixF(h, app.expectedPerf);
+            mix(h, app.scheduled() ? 1 : 0);
+            if (app.point)
+                mixF(h, app.point->power);
+        }
+        for (const sim::Application *app : srv.apps()) {
+            if (!app->finished())
+                ++d.activeApps;
+        }
+        d.passes += mgr.reallocationCount();
+        d.objective += alloc.objective;
+        if (ix == 0)
+            d.simNow = srv.now();
+    }
+    d.hash = h;
+    return d;
+}
+
+std::uint64_t
+ServeEngine::allocatorPasses() const
+{
+    std::uint64_t passes = 0;
+    for (int ix = 0; ix < nodeCount(); ++ix)
+        passes += managerAt(ix).reallocationCount();
+    return passes;
+}
+
+void
+ServeEngine::fillSnapshot(StatsSnapshot &snap) const
+{
+    snap.nodes = static_cast<std::uint32_t>(nodeCount());
+    snap.activeApps = 0;
+    snap.freeSockets = 0;
+    snap.allocatorPasses = 0;
+    for (const auto &node : pool_.snapshot()) {
+        snap.activeApps += static_cast<std::uint32_t>(node.activeApps);
+        snap.freeSockets +=
+            static_cast<std::uint32_t>(node.freeSockets);
+        snap.allocatorPasses += node.reallocations;
+    }
+    snap.simNow = pool_[0].server->now();
+    // A fixed key list instead of aggregateTelemetry(): folding whole
+    // buses copies the decision deques, far too heavy for a per-batch
+    // snapshot.
+    static const char *const kKeys[] = {
+        "control.polls",
+        "manager.reallocations",
+        "event.E1-cap-change",
+        "event.E2-arrival",
+        "event.E3-departure",
+        "event.E4-drift",
+        "allocator.allocate",
+        "allocator.dp_extends",
+        "allocator.dp_rebuilds",
+        "learning.als_fits",
+        "learning.surface_cache_hits",
+    };
+    for (const char *key : kKeys)
+        snap.counters[key] = pool_.aggregateCounter(key);
+}
+
+} // namespace psm::serve

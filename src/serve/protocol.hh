@@ -1,0 +1,204 @@
+/**
+ * @file
+ * Payload schemas of the serving protocol: what travels inside the
+ * EVENT/QUERY/STATS/HELLO frames of src/net/frame.hh.
+ *
+ * The event vocabulary mirrors Section III-C seen from outside the
+ * simulation loop: clients submit E1 cap changes, E2 arrivals, E4
+ * phase changes and external E3 kills, plus an explicit clock advance
+ * (the daemon hosts a simulated cluster, so time is a resource the
+ * protocol controls rather than wall clock).  Replies carry a
+ * DecisionDigest — a order-sensitive FNV-1a fold of every node's
+ * control-plane state — which is what the bench compares bit-exactly
+ * against an in-process replay.
+ */
+
+#ifndef PSM_SERVE_PROTOCOL_HH
+#define PSM_SERVE_PROTOCOL_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "net/frame.hh"
+#include "util/units.hh"
+
+namespace psm::serve
+{
+
+/** Operations an EVENT frame can carry. */
+enum class EventOp : std::uint8_t
+{
+    Advance = 1, ///< run the simulated cluster for `value` seconds
+    CapChange,   ///< E1: set node's cap to `value` watts
+    Arrival,     ///< E2: admit workloadLibrary()[workload]
+    PhaseChange, ///< E4 cause: rescale an app's compute/memory phase
+    Kill,        ///< external E3: terminate an app
+};
+
+/** Printable op name. */
+std::string eventOpName(EventOp op);
+
+/** Status of an EVENT's reply. */
+enum class ReplyStatus : std::uint8_t
+{
+    Ok = 0,     ///< applied; digest reflects it
+    Shed,       ///< admission control refused (queue saturated)
+    Expired,    ///< deadline passed while queued; not applied
+    Rejected,   ///< semantically impossible (no socket, dup name, ...)
+    BadRequest, ///< malformed (unknown node/op/workload)
+};
+
+/** Printable status name. */
+std::string replyStatusName(ReplyStatus status);
+
+/** One client-submitted event. */
+struct EventRequest
+{
+    EventOp op = EventOp::Advance;
+    /** Target node; -1 lets the daemon route (Arrival only). */
+    std::int32_t node = -1;
+    std::int32_t appId = -1;  ///< PhaseChange/Kill target
+    std::uint32_t workload = 0; ///< Arrival: workloadLibrary() index
+    double value = 0.0;       ///< seconds (Advance) or watts (E1)
+    double cpuScale = 1.0;    ///< PhaseChange compute multiplier
+    double memScale = 1.0;    ///< PhaseChange memory multiplier
+    /** Wall-clock budget in microseconds; 0 = no deadline.  A request
+     * still queued when it lapses is answered Expired, not applied. */
+    std::uint32_t deadlineUs = 0;
+};
+
+/** Bit-exact summary of the cluster's decision state. */
+struct DecisionDigest
+{
+    std::uint64_t hash = 0;     ///< FNV-1a over all per-node state
+    std::uint64_t passes = 0;   ///< allocator passes, cluster total
+    Tick simNow = 0;            ///< node-0 simulated clock
+    std::uint32_t activeApps = 0; ///< cluster-wide live apps
+    double objective = 0.0;     ///< sum of last-allocation objectives
+
+    bool
+    operator==(const DecisionDigest &o) const
+    {
+        return hash == o.hash && passes == o.passes &&
+               simNow == o.simNow && activeApps == o.activeApps &&
+               objective == o.objective;
+    }
+};
+
+/** Reply to one EVENT. */
+struct EventReply
+{
+    ReplyStatus status = ReplyStatus::Ok;
+    std::int32_t node = -1;  ///< node that handled the op
+    std::int32_t appId = -1; ///< assigned id (Arrival) or echo
+    /** Events coalesced into the allocator epoch that answered this
+     * request (>= 1 when status == Ok). */
+    std::uint32_t batched = 0;
+    DecisionDigest digest;
+};
+
+/** HELLO handshake. */
+struct HelloRequest
+{
+    std::uint8_t version = net::kProtocolVersion;
+    std::string client;
+};
+
+struct HelloReply
+{
+    std::uint8_t version = net::kProtocolVersion;
+    bool accepted = false;
+    std::string server;
+};
+
+/**
+ * The read-only service snapshot: rebuilt by the control thread after
+ * every batch, served to STATS/QUERY frames by the reactor thread
+ * without touching the engine.
+ */
+struct StatsSnapshot
+{
+    Tick simNow = 0;
+    std::uint32_t nodes = 0;
+    std::uint32_t activeApps = 0;
+    std::uint32_t freeSockets = 0;
+    std::uint64_t allocatorPasses = 0;
+    std::uint64_t eventsApplied = 0;
+    std::uint64_t batches = 0;
+    std::uint64_t maxBatch = 0;
+    std::uint64_t shed = 0;
+    std::uint64_t expired = 0;
+    std::uint64_t rejected = 0;
+    std::uint32_t queueDepth = 0;     ///< admission queue, at publish
+    std::uint32_t poolQueueDepth = 0; ///< util::ThreadPool backlog
+    std::uint32_t poolInflight = 0;   ///< util::ThreadPool executing
+    std::uint64_t digestHash = 0;     ///< last committed digest
+    /** Selected control-plane counters folded across nodes. */
+    std::map<std::string, std::uint64_t> counters;
+
+    /** Mean events coalesced per committed batch. */
+    double
+    eventsPerBatch() const
+    {
+        return batches
+                   ? static_cast<double>(eventsApplied) /
+                         static_cast<double>(batches)
+                   : 0.0;
+    }
+};
+
+/** QUERY: look one counter up by name. */
+struct QueryRequest
+{
+    std::string name;
+};
+
+struct QueryReply
+{
+    bool found = false;
+    std::uint64_t value = 0;
+};
+
+// --- Payload codecs ------------------------------------------------
+//
+// Every decode returns false on malformed payloads (truncated,
+// trailing bytes, out-of-range enums) and leaves the output in an
+// unspecified state.
+
+std::vector<std::uint8_t> encodeEventRequest(const EventRequest &ev);
+bool decodeEventRequest(const std::vector<std::uint8_t> &payload,
+                        EventRequest &out);
+
+std::vector<std::uint8_t> encodeEventReply(const EventReply &reply);
+bool decodeEventReply(const std::vector<std::uint8_t> &payload,
+                      EventReply &out);
+
+std::vector<std::uint8_t> encodeHelloRequest(const HelloRequest &req);
+bool decodeHelloRequest(const std::vector<std::uint8_t> &payload,
+                        HelloRequest &out);
+
+std::vector<std::uint8_t> encodeHelloReply(const HelloReply &reply);
+bool decodeHelloReply(const std::vector<std::uint8_t> &payload,
+                      HelloReply &out);
+
+std::vector<std::uint8_t> encodeStatsSnapshot(const StatsSnapshot &s);
+bool decodeStatsSnapshot(const std::vector<std::uint8_t> &payload,
+                         StatsSnapshot &out);
+
+std::vector<std::uint8_t> encodeQueryRequest(const QueryRequest &req);
+bool decodeQueryRequest(const std::vector<std::uint8_t> &payload,
+                        QueryRequest &out);
+
+std::vector<std::uint8_t> encodeQueryReply(const QueryReply &reply);
+bool decodeQueryReply(const std::vector<std::uint8_t> &payload,
+                      QueryReply &out);
+
+std::vector<std::uint8_t> encodeErrorMessage(const std::string &msg);
+bool decodeErrorMessage(const std::vector<std::uint8_t> &payload,
+                        std::string &out);
+
+} // namespace psm::serve
+
+#endif // PSM_SERVE_PROTOCOL_HH

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * psm-served: the power-struggle mediator as a long-running daemon.
+ *
+ * Hosts a managed (simulated) cluster behind the serving protocol:
+ * clients connect over TCP, submit E1-E4 events and clock advances,
+ * and read telemetry, while the daemon batches concurrent submissions
+ * into single allocator epochs.  Runs until SIGINT/SIGTERM or a
+ * client's SHUTDOWN frame.
+ *
+ *   psm-served [--port N] [--nodes N] [--cap W] [--policy NAME]
+ *              [--esd] [--queue N] [--batch N] [--seed N]
+ */
+
+#include <csignal>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "core/policy.hh"
+#include "serve/service.hh"
+#include "util/logging.hh"
+
+namespace
+{
+
+using namespace psm;
+
+volatile std::sig_atomic_t interrupted = 0;
+
+void
+onSignal(int)
+{
+    interrupted = 1;
+}
+
+bool
+parsePolicy(const std::string &name, core::PolicyKind &out)
+{
+    static const struct
+    {
+        const char *name;
+        core::PolicyKind kind;
+    } kTable[] = {
+        {"util-unaware", core::PolicyKind::UtilUnaware},
+        {"server-res-aware", core::PolicyKind::ServerResAware},
+        {"app-aware", core::PolicyKind::AppAware},
+        {"app-res-aware", core::PolicyKind::AppResAware},
+        {"app-res-esd-aware", core::PolicyKind::AppResEsdAware},
+    };
+    for (const auto &entry : kTable) {
+        if (name == entry.name) {
+            out = entry.kind;
+            return true;
+        }
+    }
+    return false;
+}
+
+[[noreturn]] void
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: psm-served [--port N] [--nodes N] [--cap W]\n"
+        "                  [--policy util-unaware|server-res-aware|"
+        "app-aware|app-res-aware|app-res-esd-aware]\n"
+        "                  [--esd] [--queue N] [--batch N] "
+        "[--seed N]\n");
+    std::exit(2);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace psm;
+
+    std::uint16_t port = 7633;
+    serve::ServiceConfig cfg;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc)
+                usage();
+            return argv[++i];
+        };
+        if (arg == "--port")
+            port = static_cast<std::uint16_t>(std::atoi(next()));
+        else if (arg == "--nodes")
+            cfg.engine.nodes = std::atoi(next());
+        else if (arg == "--cap")
+            cfg.engine.serverCap = std::atof(next());
+        else if (arg == "--policy") {
+            if (!parsePolicy(next(), cfg.engine.manager.policy))
+                usage();
+        } else if (arg == "--esd")
+            cfg.engine.esd = true;
+        else if (arg == "--queue")
+            cfg.maxQueue =
+                static_cast<std::size_t>(std::atol(next()));
+        else if (arg == "--batch")
+            cfg.maxBatch =
+                static_cast<std::size_t>(std::atol(next()));
+        else if (arg == "--seed")
+            cfg.engine.seedBase =
+                static_cast<std::uint64_t>(std::atoll(next()));
+        else
+            usage();
+    }
+    if (cfg.engine.nodes < 1)
+        fatal("--nodes must be >= 1");
+    if (cfg.engine.esd)
+        cfg.engine.manager.policy = core::PolicyKind::AppResEsdAware;
+
+    serve::ServeService service(cfg);
+    if (!service.listenTcp(port))
+        fatal("cannot listen on port %u",
+              static_cast<unsigned>(port));
+
+    std::signal(SIGINT, onSignal);
+    std::signal(SIGTERM, onSignal);
+
+    service.start();
+    inform(LogLevel::Normal,
+           "psm-served: listening on port %u (%d node%s, policy %s)",
+           static_cast<unsigned>(port), cfg.engine.nodes,
+           cfg.engine.nodes == 1 ? "" : "s",
+           core::policyName(cfg.engine.manager.policy).c_str());
+
+    while (!interrupted && !service.shutdownRequested())
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+    inform(LogLevel::Normal, "psm-served: shutting down (%s)",
+           interrupted ? "signal" : "client request");
+    service.stop();
+    return 0;
+}

@@ -1,34 +1,106 @@
 #include "logging.hh"
 
+#include <atomic>
+#include <cctype>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <mutex>
 
 namespace psm
 {
 
 namespace
 {
-LogLevel globalLevel = LogLevel::Normal;
 
+std::once_flag level_once;
+std::atomic<int> globalLevel{static_cast<int>(LogLevel::Normal)};
+
+/** Seed the threshold from PSM_LOG_LEVEL exactly once; an explicit
+ * setLogLevel() consumes the once-flag first and wins. */
+void
+seedLevelFromEnv()
+{
+    const char *env = std::getenv("PSM_LOG_LEVEL");
+    if (!env || *env == '\0')
+        return;
+    LogLevel parsed;
+    if (parseLogLevel(env, parsed)) {
+        globalLevel.store(static_cast<int>(parsed),
+                          std::memory_order_relaxed);
+    } else {
+        std::fprintf(stderr,
+                     "warn: PSM_LOG_LEVEL='%s' is not a level in "
+                     "[0, 3] or quiet/normal/verbose/debug; ignored\n",
+                     env);
+    }
+}
+
+std::mutex &
+reportMutex()
+{
+    static std::mutex m;
+    return m;
+}
+
+/** Format privately, then emit one atomic line under the lock. */
 void
 vreport(FILE *stream, const char *prefix, const char *fmt, va_list ap)
 {
-    std::fprintf(stream, "%s", prefix);
-    std::vfprintf(stream, fmt, ap);
-    std::fprintf(stream, "\n");
+    char body[2048];
+    std::vsnprintf(body, sizeof(body), fmt, ap);
+    std::lock_guard lk(reportMutex());
+    std::fprintf(stream, "%s%s\n", prefix, body);
 }
+
 } // namespace
+
+bool
+parseLogLevel(const char *text, LogLevel &out)
+{
+    if (!text || *text == '\0')
+        return false;
+    if (std::isdigit(static_cast<unsigned char>(*text))) {
+        char *end = nullptr;
+        long v = std::strtol(text, &end, 10);
+        if (end == text || *end != '\0' || v < 0 || v > 3)
+            return false;
+        out = static_cast<LogLevel>(v);
+        return true;
+    }
+    std::string lower;
+    for (const char *p = text; *p; ++p)
+        lower.push_back(static_cast<char>(
+            std::tolower(static_cast<unsigned char>(*p))));
+    if (lower == "quiet")
+        out = LogLevel::Quiet;
+    else if (lower == "normal")
+        out = LogLevel::Normal;
+    else if (lower == "verbose")
+        out = LogLevel::Verbose;
+    else if (lower == "debug")
+        out = LogLevel::Debug;
+    else
+        return false;
+    return true;
+}
 
 void
 setLogLevel(LogLevel level)
 {
-    globalLevel = level;
+    // Consume the env seeding slot so a later logLevel() cannot
+    // overwrite an explicit choice.
+    std::call_once(level_once, [] {});
+    globalLevel.store(static_cast<int>(level),
+                      std::memory_order_relaxed);
 }
 
 LogLevel
 logLevel()
 {
-    return globalLevel;
+    std::call_once(level_once, seedLevelFromEnv);
+    return static_cast<LogLevel>(
+        globalLevel.load(std::memory_order_relaxed));
 }
 
 void
@@ -63,7 +135,7 @@ warn(const char *fmt, ...)
 void
 inform(LogLevel level, const char *fmt, ...)
 {
-    if (static_cast<int>(level) > static_cast<int>(globalLevel))
+    if (static_cast<int>(level) > static_cast<int>(logLevel()))
         return;
     va_list ap;
     va_start(ap, fmt);

@@ -6,6 +6,13 @@
  * fatal()  — the user asked for something impossible; exits cleanly.
  * warn()   — something suspicious happened; execution continues.
  * inform() — progress/status output, gated by verbosity.
+ *
+ * All reporting entry points are thread-safe: the serving daemon logs
+ * concurrently from its reactor and control threads, so each message
+ * is formatted privately and emitted as one atomic line, and the
+ * verbosity threshold is an atomic.  The initial threshold comes from
+ * the PSM_LOG_LEVEL environment variable (a number 0-3 or a level
+ * name: quiet, normal, verbose, debug); setLogLevel() overrides it.
  */
 
 #ifndef PSM_UTIL_LOGGING_HH
@@ -29,8 +36,18 @@ enum class LogLevel
 /** Set the global verbosity threshold for inform(). */
 void setLogLevel(LogLevel level);
 
-/** Current global verbosity threshold. */
+/** Current global verbosity threshold (seeded from PSM_LOG_LEVEL on
+ * first use, unless setLogLevel() ran earlier). */
 LogLevel logLevel();
+
+/**
+ * Parse a verbosity spelling: a number in [0, 3] or a case-insensitive
+ * level name (quiet, normal, verbose, debug).
+ *
+ * @return Whether @p text was a valid level (on false, @p out is
+ *         untouched).
+ */
+bool parseLogLevel(const char *text, LogLevel &out);
 
 /**
  * Report an internal simulator bug and abort with a core dump.

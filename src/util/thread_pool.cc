@@ -71,9 +71,12 @@ ThreadPool::workerLoop()
             fn = std::move(queue.front());
             queue.pop_front();
         }
+        n_queued.fetch_sub(1, std::memory_order_relaxed);
+        n_inflight.fetch_add(1, std::memory_order_relaxed);
         in_pool_task = true;
         fn();
         in_pool_task = false;
+        n_inflight.fetch_sub(1, std::memory_order_relaxed);
     }
 }
 
@@ -95,9 +98,12 @@ ThreadPool::helpWhilePending(Batch &batch)
             }
         }
         if (fn) {
+            n_queued.fetch_sub(1, std::memory_order_relaxed);
+            n_inflight.fetch_add(1, std::memory_order_relaxed);
             in_pool_task = true;
             fn();
             in_pool_task = false;
+            n_inflight.fetch_sub(1, std::memory_order_relaxed);
             continue;
         }
         // Nothing left to steal; the stragglers are on workers.
@@ -142,6 +148,7 @@ ThreadPool::parallelForRange(
                 --batch.pending;
                 batch.done.notify_one();
             });
+            n_queued.fetch_add(1, std::memory_order_relaxed);
         }
     }
     cv_work.notify_all();
@@ -186,6 +193,7 @@ ThreadPool::invoke(const std::function<void()> &a,
             --batch.pending;
             batch.done.notify_one();
         });
+        n_queued.fetch_add(1, std::memory_order_relaxed);
     }
     cv_work.notify_one();
     b();

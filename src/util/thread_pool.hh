@@ -24,6 +24,7 @@
 #ifndef PSM_UTIL_THREAD_POOL_HH
 #define PSM_UTIL_THREAD_POOL_HH
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -80,6 +81,26 @@ class ThreadPool
     void invoke(const std::function<void()> &a,
                 const std::function<void()> &b);
 
+    // --- Backlog gauges (lock-free reads) ----------------------------
+    //
+    // The serving layer's admission controller and Telemetry read
+    // these to observe pool pressure instead of guessing.  Both count
+    // only tasks that went through the shared queue: chunks a blocking
+    // caller runs inline on itself are not backlog.
+
+    /** Tasks currently waiting in the shared queue. */
+    std::size_t queueDepth() const
+    {
+        return n_queued.load(std::memory_order_relaxed);
+    }
+
+    /** Dequeued tasks currently executing (workers or helping
+     * callers). */
+    std::size_t inflight() const
+    {
+        return n_inflight.load(std::memory_order_relaxed);
+    }
+
     /**
      * The process-wide pool, built on first use from PSM_THREADS /
      * hardware_concurrency.
@@ -106,6 +127,8 @@ class ThreadPool
     };
 
     unsigned n_width = 1;
+    std::atomic<std::size_t> n_queued{0};
+    std::atomic<std::size_t> n_inflight{0};
     std::vector<std::thread> workers;
     std::deque<std::function<void()>> queue;
     std::mutex mtx;
