@@ -1,0 +1,426 @@
+/**
+ * @file
+ * Telemetry publish/merge microbench and the trace-rework tripwire.
+ *
+ * Measures the three paths the binary-tracing rework touched:
+ *
+ *  - publish: ns/op for typed-id publishes on the trace backend vs
+ *    the same stream through registered string names (lookup + route)
+ *    vs the legacy string-keyed std::map backend;
+ *  - merge: folding a TelemetryShards sweep into one bus — a dense
+ *    O(#events) array add on the trace backend vs an O(n log n)
+ *    string-map fold on the legacy one;
+ *
+ * `--check` turns the bench into a regression tripwire:
+ *
+ *  1. equivalence — an identical mixed publish stream (typed ids,
+ *     registered names, overflow names, decision records) must
+ *     aggregate to identical counter/timer/decision views on both
+ *     backends, including across a cross-backend merge;
+ *  2. replay determinism — a scripted ServeEngine capture must replay
+ *     bit-exactly (digest + surface-epoch sum) at thread widths 1
+ *     and 4;
+ *  3. publish perf — the typed trace publish path must not regress
+ *     past 1.2x the legacy string publish baseline (it is normally
+ *     several times faster; >20% slower than the path it replaced
+ *     fails the build).
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <functional>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/telemetry.hh"
+#include "serve/engine.hh"
+#include "serve/protocol.hh"
+#include "serve/replay.hh"
+#include "trace/trace.hh"
+#include "util/thread_pool.hh"
+
+namespace
+{
+
+using namespace psm;
+using core::DecisionRecord;
+using core::Telemetry;
+using core::TelemetryShards;
+
+double
+wallSeconds(const std::function<void()> &fn)
+{
+    auto t0 = std::chrono::steady_clock::now();
+    fn();
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+}
+
+/** Best-of-3 wall time, for timing stability under CI noise. */
+double
+bestSeconds(const std::function<void()> &fn)
+{
+    double best = wallSeconds(fn);
+    for (int i = 0; i < 2; ++i)
+        best = std::min(best, wallSeconds(fn));
+    return best;
+}
+
+// --- publish path ---------------------------------------------------
+
+struct PublishReport
+{
+    double traceTypedNs = 0.0;  ///< count/observe by EventId, Trace
+    double traceStringNs = 0.0; ///< registered names, Trace (routed)
+    double legacyStringNs = 0.0; ///< registered names, Legacy (maps)
+    std::uint64_t checksum = 0; ///< keeps the loops observable
+
+    double
+    speedup() const
+    {
+        return traceTypedNs > 0.0 ? legacyStringNs / traceTypedNs
+                                  : 0.0;
+    }
+};
+
+PublishReport
+timePublish(std::size_t iters)
+{
+    PublishReport rep;
+    // Two publishes per iteration: one counter bump, one timer
+    // observation — the mix every control-loop poll produces.
+    const double ops = static_cast<double>(iters) * 2.0;
+
+    {
+        Telemetry bus(Telemetry::Backend::Trace);
+        rep.traceTypedNs =
+            bestSeconds([&] {
+                for (std::size_t i = 0; i < iters; ++i) {
+                    bus.count(trace::EventId::AllocatorAllocate);
+                    bus.observe(trace::EventId::AllocatorSpatial,
+                                static_cast<Tick>(i & 0xff));
+                }
+            }) *
+            1e9 / ops;
+        rep.checksum +=
+            bus.counter(trace::EventId::AllocatorAllocate);
+    }
+    {
+        Telemetry bus(Telemetry::Backend::Trace);
+        rep.traceStringNs =
+            bestSeconds([&] {
+                for (std::size_t i = 0; i < iters; ++i) {
+                    bus.count("allocator.allocate");
+                    bus.observe("allocator.spatial",
+                                static_cast<Tick>(i & 0xff));
+                }
+            }) *
+            1e9 / ops;
+        rep.checksum += bus.counter("allocator.allocate");
+    }
+    {
+        Telemetry bus(Telemetry::Backend::Legacy);
+        rep.legacyStringNs =
+            bestSeconds([&] {
+                for (std::size_t i = 0; i < iters; ++i) {
+                    bus.count("allocator.allocate");
+                    bus.observe("allocator.spatial",
+                                static_cast<Tick>(i & 0xff));
+                }
+            }) *
+            1e9 / ops;
+        rep.checksum += bus.counter("allocator.allocate");
+    }
+    return rep;
+}
+
+// --- merge path -----------------------------------------------------
+
+struct MergeReport
+{
+    std::size_t shards = 0;
+    std::size_t rounds = 0;
+    double traceMs = 0.0;  ///< one full shard sweep, trace backend
+    double legacyMs = 0.0; ///< same sweep, legacy backend
+
+    double
+    speedup() const
+    {
+        return traceMs > 0.0 ? legacyMs / traceMs : 0.0;
+    }
+};
+
+/** Touch every registered event on @p bus (per its kind). */
+void
+publishFullRegistry(Telemetry &bus, std::size_t salt)
+{
+    for (std::size_t i = 0; i < trace::kEventCount; ++i) {
+        auto id = static_cast<trace::EventId>(i);
+        switch (trace::eventKind(id)) {
+        case trace::EventKind::Counter:
+            bus.count(id, (salt + i) % 7 + 1);
+            break;
+        case trace::EventKind::Timer:
+            bus.observe(id, static_cast<Tick>((salt + i) % 11 + 1));
+            break;
+        case trace::EventKind::Gauge:
+            bus.gauge(id, salt + i);
+            break;
+        }
+    }
+}
+
+MergeReport
+timeMerge(Telemetry::Backend backend, std::size_t shards,
+          std::size_t rounds)
+{
+    MergeReport rep;
+    rep.shards = shards;
+    rep.rounds = rounds;
+
+    Telemetry::Backend saved = Telemetry::processDefault();
+    Telemetry::setProcessDefault(backend);
+    TelemetryShards sweep(shards);
+    Telemetry::setProcessDefault(saved);
+
+    for (std::size_t s = 0; s < shards; ++s)
+        publishFullRegistry(sweep.shard(s), s);
+
+    double total = bestSeconds([&] {
+        for (std::size_t r = 0; r < rounds; ++r) {
+            Telemetry target(backend);
+            sweep.mergeInto(target);
+        }
+    });
+    double perSweepMs = total * 1e3 / static_cast<double>(rounds);
+    if (backend == Telemetry::Backend::Trace)
+        rep.traceMs = perSweepMs;
+    else
+        rep.legacyMs = perSweepMs;
+    return rep;
+}
+
+// --- checks ---------------------------------------------------------
+
+struct CheckReport
+{
+    bool equivalenceOk = false;
+    std::size_t equivalenceKeys = 0;
+    bool replayOk = false;
+    std::size_t replayCommits = 0;
+    std::string firstFailure;
+};
+
+/** The mixed stream both backends must aggregate identically. */
+void
+publishMixed(Telemetry &bus)
+{
+    for (std::size_t i = 0; i < 5000; ++i) {
+        bus.count(trace::EventId::ControlPolls);
+        bus.count("selector.idle", i % 3);
+        bus.count("overflow.adhoc_key", 2);
+        bus.observe(trace::EventId::ManagerReallocate,
+                    static_cast<Tick>(i % 13));
+        bus.observe("overflow.adhoc_timer",
+                    static_cast<Tick>(i % 5));
+        bus.gauge(trace::EventId::PoolQueueDepth, i);
+    }
+    DecisionRecord rec;
+    rec.when = 42;
+    rec.trigger = "bench";
+    rec.policy = "p";
+    rec.plan = "q";
+    rec.mode = "m";
+    bus.record(rec);
+}
+
+bool
+checkEquivalence(CheckReport &rep)
+{
+    Telemetry trace_bus(Telemetry::Backend::Trace);
+    Telemetry legacy_bus(Telemetry::Backend::Legacy);
+    publishMixed(trace_bus);
+    publishMixed(legacy_bus);
+
+    if (trace_bus.counters() != legacy_bus.counters()) {
+        rep.firstFailure = "counter views differ across backends";
+        return false;
+    }
+    const auto &tt = trace_bus.timers();
+    const auto &lt = legacy_bus.timers();
+    if (tt.size() != lt.size()) {
+        rep.firstFailure = "timer key sets differ across backends";
+        return false;
+    }
+    for (const auto &[name, stat] : tt) {
+        auto it = lt.find(name);
+        if (it == lt.end() || stat.count != it->second.count ||
+            stat.total != it->second.total ||
+            stat.max != it->second.max) {
+            rep.firstFailure = "timer '" + name +
+                               "' aggregates differ across backends";
+            return false;
+        }
+    }
+    if (trace_bus.decisions().size() != legacy_bus.decisions().size()) {
+        rep.firstFailure = "decision logs differ across backends";
+        return false;
+    }
+
+    // Cross-backend merge must bridge through the name registry.
+    Telemetry combined(Telemetry::Backend::Trace);
+    combined.merge(trace_bus);
+    combined.merge(legacy_bus);
+    if (combined.counter("control.polls") !=
+        2 * trace_bus.counter("control.polls")) {
+        rep.firstFailure = "cross-backend merge lost counter mass";
+        return false;
+    }
+    rep.equivalenceKeys = trace_bus.counters().size() + tt.size();
+    return true;
+}
+
+bool
+checkReplay(CheckReport &rep)
+{
+    const std::string path = "bench_trace_capture.bin";
+
+    serve::EngineConfig cfg;
+    cfg.nodes = 2;
+    cfg.serverCap = 80.0;
+    cfg.seedBase = 23;
+    {
+        serve::ServeEngine engine(cfg);
+        if (!engine.startCapture(path)) {
+            rep.firstFailure = "could not open capture file";
+            return false;
+        }
+        serve::EventRequest ev;
+        ev.op = serve::EventOp::Arrival;
+        for (std::uint32_t w = 0; w < 4; ++w) {
+            ev.workload = w;
+            ev.node = -1;
+            engine.apply(ev);
+        }
+        engine.commit();
+        ev = serve::EventRequest{};
+        ev.op = serve::EventOp::CapChange;
+        ev.node = -1; // broadcast
+        ev.value = 55.0;
+        engine.apply(ev);
+        engine.commit();
+        ev = serve::EventRequest{};
+        ev.op = serve::EventOp::Advance;
+        ev.value = 2.0;
+        engine.apply(ev);
+        engine.commit();
+        engine.stopCapture();
+    }
+
+    serve::Capture capture;
+    std::string error;
+    if (!serve::readCapture(path, capture, error)) {
+        rep.firstFailure = "capture unreadable: " + error;
+        std::remove(path.c_str());
+        return false;
+    }
+    rep.replayCommits = capture.commitCount();
+
+    for (unsigned width : {1u, 4u}) {
+        util::ThreadPool::configureGlobal(width);
+        serve::ReplayResult result = serve::replayCapture(capture);
+        if (!result.ok) {
+            rep.firstFailure = "replay diverged at width " +
+                               std::to_string(width) + ": " +
+                               result.firstMismatch;
+            std::remove(path.c_str());
+            return false;
+        }
+    }
+    std::remove(path.c_str());
+    return true;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool check = false;
+    bool quick = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--check") == 0)
+            check = true;
+        else if (std::strcmp(argv[i], "--quick") == 0)
+            quick = true;
+        else {
+            std::cerr << "usage: " << argv[0]
+                      << " [--check] [--quick]\n";
+            return 2;
+        }
+    }
+
+    const std::size_t iters = quick ? 400000 : 4000000;
+    const std::size_t shards = quick ? 32 : 64;
+    const std::size_t rounds = quick ? 50 : 200;
+
+    PublishReport publish = timePublish(iters);
+    MergeReport trace_merge =
+        timeMerge(Telemetry::Backend::Trace, shards, rounds);
+    MergeReport legacy_merge =
+        timeMerge(Telemetry::Backend::Legacy, shards, rounds);
+
+    CheckReport checks;
+    bool perfOk = true;
+    if (check) {
+        checks.equivalenceOk = checkEquivalence(checks);
+        if (checks.equivalenceOk)
+            checks.replayOk = checkReplay(checks);
+        perfOk = publish.traceTypedNs <=
+                 1.2 * publish.legacyStringNs;
+        if (!perfOk && checks.firstFailure.empty())
+            checks.firstFailure =
+                "typed trace publish regressed past 1.2x the legacy "
+                "string baseline";
+    }
+
+    // --- JSON ------------------------------------------------------
+    std::cout << "{\"bench\":\"trace\",\"events\":"
+              << trace::kEventCount << ",";
+    std::cout << "\"publish\":{\"iters\":" << iters
+              << ",\"trace_typed_ns\":" << publish.traceTypedNs
+              << ",\"trace_string_ns\":" << publish.traceStringNs
+              << ",\"legacy_string_ns\":" << publish.legacyStringNs
+              << ",\"speedup\":" << publish.speedup()
+              << ",\"checksum\":" << publish.checksum << "},";
+    std::cout << "\"merge\":{\"shards\":" << shards
+              << ",\"rounds\":" << rounds
+              << ",\"trace_ms\":" << trace_merge.traceMs
+              << ",\"legacy_ms\":" << legacy_merge.legacyMs
+              << ",\"speedup\":"
+              << (trace_merge.traceMs > 0.0
+                      ? legacy_merge.legacyMs / trace_merge.traceMs
+                      : 0.0)
+              << "}";
+    if (check) {
+        std::cout << ",\"check\":{\"equivalence\":"
+                  << (checks.equivalenceOk ? "true" : "false")
+                  << ",\"equivalence_keys\":"
+                  << checks.equivalenceKeys << ",\"replay\":"
+                  << (checks.replayOk ? "true" : "false")
+                  << ",\"replay_commits\":" << checks.replayCommits
+                  << ",\"publish_perf\":"
+                  << (perfOk ? "true" : "false") << "}";
+    }
+    std::cout << "}\n";
+
+    if (check &&
+        (!checks.equivalenceOk || !checks.replayOk || !perfOk)) {
+        std::cerr << "CHECK FAILED: " << checks.firstFailure << "\n";
+        return 1;
+    }
+    return 0;
+}

@@ -124,7 +124,7 @@ ClusterManager::replayEqual(const PowerTrace &caps)
 
     for (Watts cap : caps.values) {
         Watts share = cap / static_cast<double>(cfg.servers);
-        tel.count("cluster.cap_updates");
+        tel.count(trace::EventId::ClusterCapUpdates);
         for (auto &node : *pool)
             node.manager->setCap(share);
         // Nodes are independent within an interval: step them in
@@ -249,7 +249,7 @@ ClusterManager::replayConsolidation(const PowerTrace &caps)
                             downtime += cfg.serverBootDelay;
                         place(a, target, downtime);
                         ++migration_count;
-                        tel.count("cluster.migrations");
+                        tel.count(trace::EventId::ClusterMigrations);
                     }
                 }
             }
@@ -298,7 +298,7 @@ ClusterManager::replayConsolidation(const PowerTrace &caps)
         for (const auto &app : ledger) {
             if (app.server < 0) {
                 ++parked_steps;
-                tel.count("cluster.parked_app_steps");
+                tel.count(trace::EventId::ClusterParkedAppSteps);
             }
         }
     }

@@ -63,7 +63,7 @@ NodePool::NodePool(const NodePoolConfig &config)
 
 void
 NodePool::isolate(Node &node, core::Telemetry &shard,
-                  const char *fault_counter)
+                  trace::EventId fault_counter)
 {
     ++node.crashStreak;
     // First crash retries next interval; consecutive crashes back
@@ -72,7 +72,7 @@ NodePool::isolate(Node &node, core::Telemetry &shard,
                         ? 0
                         : std::min(1 << (node.crashStreak - 2), 8);
     shard.count(fault_counter);
-    shard.count("degraded.node_isolated");
+    shard.count(trace::EventId::DegradedNodeIsolated);
 }
 
 void
@@ -92,7 +92,7 @@ NodePool::runAll(Tick duration, core::Telemetry *driver_tel)
                 // out.  The node's simulated clock simply does not
                 // advance — availability loss, not time travel.
                 --node.cooldown;
-                shard.count("degraded.node_skipped");
+                shard.count(trace::EventId::DegradedNodeSkipped);
                 return;
             }
             // The crash roll is keyed on per-node state only (the
@@ -108,7 +108,7 @@ NodePool::runAll(Tick duration, core::Telemetry *driver_tel)
                     node.server->now(),
                 static_cast<std::int64_t>(s));
             if (crash) {
-                isolate(node, shard, "fault.node_crash");
+                isolate(node, shard, trace::EventId::FaultNodeCrash);
                 return;
             }
             auto t0 = std::chrono::steady_clock::now();
@@ -118,17 +118,18 @@ NodePool::runAll(Tick duration, core::Telemetry *driver_tel)
                 // A node whose control plane throws must not take the
                 // whole cluster step down: isolate it like a crash.
                 warn("node %zu faulted (%s); isolating", s, e.what());
-                isolate(node, shard, "fault.node_exception");
+                isolate(node, shard,
+                        trace::EventId::FaultNodeException);
                 return;
             }
             if (node.crashStreak > 0) {
                 node.crashStreak = 0;
-                shard.count("degraded.node_restarted");
+                shard.count(trace::EventId::DegradedNodeRestarted);
             }
             double secs = std::chrono::duration<double>(
                               std::chrono::steady_clock::now() - t0)
                               .count();
-            shard.observe("cluster.node_step", toTicks(secs));
+            shard.observe(trace::EventId::ClusterNodeStep, toTicks(secs));
         });
     // Isolation/fault counters must survive even when the driver does
     // not collect telemetry: fall back to the pool's own bus (merged
@@ -138,7 +139,7 @@ NodePool::runAll(Tick duration, core::Telemetry *driver_tel)
     double secs = std::chrono::duration<double>(
                       std::chrono::steady_clock::now() - interval_start)
                       .count();
-    sink.observe("cluster.step", toTicks(secs));
+    sink.observe(trace::EventId::ClusterStep, toTicks(secs));
 }
 
 Joules
@@ -186,6 +187,16 @@ NodePool::aggregateTimer(const std::string &key) const
         agg.max = std::max(agg.max, t.max);
     }
     return agg;
+}
+
+void
+NodePool::foldTrace(trace::TraceSink &out) const
+{
+    pool_tel.foldInto(out);
+    for (const Node &node : node_list) {
+        if (node.manager)
+            node.manager->telemetry().foldInto(out);
+    }
 }
 
 std::vector<NodePool::NodeSnapshot>

@@ -135,6 +135,14 @@ class NodePool
      * aggregateCounter(). */
     core::TimerStat aggregateTimer(const std::string &key) const;
 
+    /**
+     * Fold the pool bus plus every managed node's registered
+     * aggregates into one dense trace sink — O(nodes × #events), no
+     * string maps.  The serving layer builds its STATS snapshot from
+     * this.
+     */
+    void foldTrace(trace::TraceSink &out) const;
+
     /** Read-only per-node view for external observers (the serving
      * layer's telemetry path reads this instead of walking live
      * control-plane objects). */
@@ -165,7 +173,7 @@ class NodePool
     core::Telemetry pool_tel;
 
     void isolate(Node &node, core::Telemetry &shard,
-                 const char *fault_counter);
+                 trace::EventId fault_counter);
 };
 
 } // namespace psm::cluster

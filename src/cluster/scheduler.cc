@@ -131,11 +131,11 @@ ClusterScheduler::placeWaitingJobs()
             if (other < 0) {
                 // Nowhere legal right now; try again later.
                 queue.insert(queue.begin(), job_ix);
-                tel.count("cluster.placement_deferrals");
+                tel.count(trace::EventId::ClusterPlacementDeferrals);
                 return;
             }
             target = other;
-            tel.count("cluster.placement_retargets");
+            tel.count(trace::EventId::ClusterPlacementRetargets);
         }
 
         NodePool::Node &host = pool[static_cast<std::size_t>(target)];
@@ -144,7 +144,7 @@ ClusterScheduler::placeWaitingJobs()
                                                              app_id);
         job.started = clock;
         job.server = target;
-        tel.count("cluster.placements");
+        tel.count(trace::EventId::ClusterPlacements);
     }
 }
 

@@ -232,7 +232,7 @@ Actuator::executeTemporalUtility(const TemporalPlan &plan,
     for (const auto &name : plan.unschedulable) {
         srv.app(idForApp(ids, name)).suspend(srv.now());
         if (tel)
-            tel->count("actuator.suspended_unschedulable");
+            tel->count(trace::EventId::ActuatorSuspendedUnschedulable);
     }
 
     bool rapl_enforced = policy == PolicyKind::AppAware;

@@ -8,6 +8,29 @@
 namespace psm::core
 {
 
+namespace
+{
+
+/** The trace event counting one accountant event kind (the typed
+ * equivalent of the old "event." + eventKindName() key). */
+trace::EventId
+eventKindTraceId(EventKind kind)
+{
+    switch (kind) {
+      case EventKind::CapChange:
+        return trace::EventId::EventCapChange;
+      case EventKind::Arrival:
+        return trace::EventId::EventArrival;
+      case EventKind::Departure:
+        return trace::EventId::EventDeparture;
+      case EventKind::Drift:
+        break;
+    }
+    return trace::EventId::EventDrift;
+}
+
+} // namespace
+
 ControlLoop::ControlLoop(sim::Server &server, Coordinator &coordinator,
                          ControlLoopConfig config, Delegate &delegate,
                          Telemetry *telemetry)
@@ -58,9 +81,9 @@ ControlLoop::updateCapTrim()
         faults->inject(util::FaultKind::MeterStale, meter_now);
     if (nan_read || stale_read) {
         if (tel) {
-            tel->count(nan_read ? "fault.meter_nan"
-                                : "fault.meter_stale");
-            tel->count("degraded.meter_fallback");
+            tel->count(nan_read ? trace::EventId::FaultMeterNan
+                                : trace::EventId::FaultMeterStale);
+            tel->count(trace::EventId::DegradedMeterFallback);
         }
         if (meter_stale_since == maxTick)
             meter_stale_since = meter_now;
@@ -73,7 +96,7 @@ ControlLoop::updateCapTrim()
             Watts before = cap_trim;
             cap_trim *= 0.8;
             if (tel)
-                tel->count("degraded.meter_watchdog");
+                tel->count(trace::EventId::DegradedMeterWatchdog);
             watchdog_changed = std::abs(cap_trim - before) > 0.25;
         }
         return watchdog_changed;
@@ -81,7 +104,7 @@ ControlLoop::updateCapTrim()
     if (meter_stale_since != maxTick) {
         meter_stale_since = maxTick;
         if (tel)
-            tel->count("degraded.meter_recovered");
+            tel->count(trace::EventId::DegradedMeterRecovered);
     }
 
     bool changed = false;
@@ -120,7 +143,7 @@ void
 ControlLoop::poll()
 {
     if (tel)
-        tel->count("control.polls");
+        tel->count(trace::EventId::ControlPolls);
     bool need_realloc = false;
     std::string trigger;
 
@@ -128,7 +151,7 @@ ControlLoop::poll()
         need_realloc = true;
         trigger = "cap-trim";
         if (tel)
-            tel->count("control.trim_replans");
+            tel->count(trace::EventId::ControlTrimReplans);
     }
 
     // Steady-state refresh: re-derive RAPL limits and re-apply the
@@ -153,7 +176,7 @@ ControlLoop::poll()
     for (const AccountantEvent &ev : acct.poll(srv)) {
         event_log.push_back(ev);
         if (tel)
-            tel->count("event." + eventKindName(ev.kind));
+            tel->count(eventKindTraceId(ev.kind));
         switch (ev.kind) {
           case EventKind::CapChange:
             srv.setCap(ev.newCap);
@@ -168,7 +191,7 @@ ControlLoop::poll()
             // Synthetic E3s (app killed / vanished without finishing)
             // arrive with the server entry already gone.
             if (!srv.hasApp(ev.appId) && tel)
-                tel->count("degraded.app_reaped");
+                tel->count(trace::EventId::DegradedAppReaped);
             delegate.onDeparture(ev);
             acct.forget(ev.appId);
             if (srv.hasApp(ev.appId))

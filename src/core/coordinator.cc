@@ -25,6 +25,29 @@ coordinationModeName(CoordinationMode mode)
     }
 }
 
+namespace
+{
+
+/** The trace event counting one mode entry (the typed equivalent of
+ * the old "coordinator.enter." + coordinationModeName() key). */
+trace::EventId
+enterModeTraceId(CoordinationMode mode)
+{
+    switch (mode) {
+      case CoordinationMode::Idle:
+        return trace::EventId::CoordEnterIdle;
+      case CoordinationMode::Space:
+        return trace::EventId::CoordEnterSpace;
+      case CoordinationMode::Time:
+        return trace::EventId::CoordEnterTime;
+      case CoordinationMode::EsdAssisted:
+        break;
+    }
+    return trace::EventId::CoordEnterEsd;
+}
+
+} // namespace
+
 Coordinator::Coordinator(CoordinatorConfig config) : cfg(config)
 {
     psm_assert(cfg.dutyPeriod > 0);
@@ -67,7 +90,7 @@ void
 Coordinator::enterMode(CoordinationMode mode)
 {
     if (tel && mode != current_mode)
-        tel->count("coordinator.enter." + coordinationModeName(mode));
+        tel->count(enterModeTraceId(mode));
     current_mode = mode;
 }
 
@@ -85,7 +108,7 @@ Coordinator::coordinateSpace(sim::Server &server,
 {
     if (directives.empty()) {
         if (tel)
-            tel->count("coordinator.empty_plan");
+            tel->count(trace::EventId::CoordEmptyPlan);
         idle(server);
         return;
     }
@@ -103,7 +126,7 @@ Coordinator::coordinateTime(sim::Server &server,
     psm_assert(directives.size() == shares.size());
     if (directives.empty()) {
         if (tel)
-            tel->count("coordinator.empty_plan");
+            tel->count(trace::EventId::CoordEmptyPlan);
         idle(server);
         return;
     }
@@ -119,7 +142,7 @@ Coordinator::coordinateTime(sim::Server &server,
         for (double &s : shares)
             s /= total;
         if (tel)
-            tel->count("coordinator.share_renormalized");
+            tel->count(trace::EventId::CoordShareRenormalized);
     }
 
     // Re-planning over the same application set updates the
@@ -156,7 +179,7 @@ Coordinator::coordinateEsd(sim::Server &server,
 {
     if (directives.empty()) {
         if (tel)
-            tel->count("coordinator.empty_plan");
+            tel->count(trace::EventId::CoordEmptyPlan);
         idle(server);
         return;
     }
@@ -167,7 +190,7 @@ Coordinator::coordinateEsd(sim::Server &server,
         // shares rather than crash: same duty structure, just no
         // battery to bridge the OFF phases.
         if (tel)
-            tel->count("degraded.esd_to_time");
+            tel->count(trace::EventId::DegradedEsdToTime);
         std::vector<double> shares(directives.size(),
                                    1.0 / static_cast<double>(
                                              directives.size()));
@@ -251,7 +274,7 @@ Coordinator::advance(sim::Server &server)
             slot_ix = (slot_ix + 1) % slots.size();
             applyDirective(server, slots[slot_ix], true);
             if (tel)
-                tel->count("coordinator.slot_rotations");
+                tel->count(trace::EventId::CoordSlotRotations);
         }
         return;
       }
@@ -263,7 +286,7 @@ Coordinator::advance(sim::Server &server)
             // surviving directives until the next replan (which will
             // see hasEsd() == false and plan without the battery).
             if (tel)
-                tel->count("degraded.esd_to_time");
+                tel->count(trace::EventId::DegradedEsdToTime);
             std::vector<Directive> ds = std::move(esd_directives);
             esd_directives.clear();
             if (ds.empty()) {
@@ -290,7 +313,7 @@ Coordinator::advance(sim::Server &server)
                 for (const Directive &d : esd_directives)
                     applyDirective(server, d, true);
                 if (tel)
-                    tel->count("coordinator.esd_phase_flips");
+                    tel->count(trace::EventId::CoordEsdPhaseFlips);
             }
         } else {
             // Leave the ON phase when its time is up or the battery
@@ -302,7 +325,7 @@ Coordinator::advance(sim::Server &server)
                 suspendAll(server);
                 server.setEsdChargeEnabled(true);
                 if (tel)
-                    tel->count("coordinator.esd_phase_flips");
+                    tel->count(trace::EventId::CoordEsdPhaseFlips);
             }
         }
         return;

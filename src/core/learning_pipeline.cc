@@ -39,7 +39,7 @@ LearningPipeline::seedCorpus(
     fit_states.clear();
     rebuildServerAverageCurve();
     if (tel)
-        tel->count("learning.corpus_apps", corpus.size());
+        tel->count(trace::EventId::LearningCorpusApps, corpus.size());
 }
 
 void
@@ -95,7 +95,7 @@ LearningPipeline::startCalibration(int id)
     if (a.surface.has_value())
         ++surface_epoch;
     if (tel)
-        tel->count("learning.calibrations_started");
+        tel->count(trace::EventId::LearningCalibrationsStarted);
 
     if (cfg.oracleUtilities) {
         // Oracle: exhaustive, instantaneous, noiseless re-profiling
@@ -122,7 +122,7 @@ LearningPipeline::startCalibration(int id)
         a.calibration_ready = maxTick;
         last_latency = 0;
         if (tel)
-            tel->count("learning.oracle_calibrations");
+            tel->count(trace::EventId::LearningOracleCalibrations);
         return true;
     }
 
@@ -164,19 +164,19 @@ LearningPipeline::finishCalibration(int id)
     a.pending_cols.clear();
     last_latency = srv.now() - a.calibration_started;
     if (tel) {
-        tel->count("learning.calibrations_finished");
-        tel->observe("learning.calibration", last_latency);
+        tel->count(trace::EventId::LearningCalibrationsFinished);
+        tel->observe(trace::EventId::LearningCalibration, last_latency);
         if (outcome.cacheHit) {
             // Cache hits run zero ALS sweeps and never touch the
             // fit timer.
-            tel->count("learning.surface_cache_hits");
+            tel->count(trace::EventId::LearningSurfaceCacheHits);
         } else {
-            tel->count("learning.als_fits");
-            tel->count("learning.als_sweeps", outcome.sweeps);
-            tel->observe("learning.als_fit",
+            tel->count(trace::EventId::LearningAlsFits);
+            tel->count(trace::EventId::LearningAlsSweeps, outcome.sweeps);
+            tel->observe(trace::EventId::LearningAlsFit,
                          toTicks(outcome.fitSeconds));
             if (outcome.warmStarted)
-                tel->count("learning.als_warm_starts");
+                tel->count(trace::EventId::LearningAlsWarmStarts);
         }
     }
 }

@@ -223,7 +223,7 @@ ServerManager::reallocate(const std::string &trigger)
         injector.inject(util::FaultKind::ActuationStuck, srv.now(),
                         realloc_count)) {
         in.knobsAvailable = false;
-        tel.count("fault.actuation_stuck");
+        tel.count(trace::EventId::FaultActuationStuck);
     }
     if (pipeline.serverAverageCurve())
         in.serverAverage = &*pipeline.serverAverageCurve();
@@ -270,8 +270,8 @@ ServerManager::reallocate(const std::string &trigger)
     rec.apps = ids.size();
     rec.latency = last_realloc_latency;
     tel.record(std::move(rec));
-    tel.observe("manager.reallocate", srv.now() - started);
-    tel.count("manager.reallocations");
+    tel.observe(trace::EventId::ManagerReallocate, srv.now() - started);
+    tel.count(trace::EventId::ManagerReallocations);
 }
 
 void
@@ -285,7 +285,7 @@ ServerManager::maybeInjectFaults()
     if (now >= esd_restore_at) {
         esd_restore_at = maxTick;
         srv.setEsdAvailable(true);
-        tel.count("degraded.esd_restored");
+        tel.count(trace::EventId::DegradedEsdRestored);
         reallocate("esd-restored");
     }
 
@@ -300,8 +300,8 @@ ServerManager::maybeInjectFaults()
         if (injector.inject(util::FaultKind::EsdLoss, now)) {
             srv.setEsdAvailable(false);
             esd_restore_at = now + injector.config().esdOutage;
-            tel.count("fault.esd_loss");
-            tel.count("degraded.esd_unavailable");
+            tel.count(trace::EventId::FaultEsdLoss);
+            tel.count(trace::EventId::DegradedEsdUnavailable);
             // Replan immediately without the battery; the coordinator
             // additionally demotes mid-duty-cycle on its next advance
             // if it was in EsdAssisted mode.
@@ -309,8 +309,8 @@ ServerManager::maybeInjectFaults()
         } else if (injector.inject(util::FaultKind::EsdFade, now)) {
             srv.installedBattery()->fadeCapacity(
                 injector.config().fadeFactor);
-            tel.count("fault.esd_fade");
-            tel.count("degraded.esd_capacity");
+            tel.count(trace::EventId::FaultEsdFade);
+            tel.count(trace::EventId::DegradedEsdCapacity);
         }
     }
 
@@ -318,7 +318,7 @@ ServerManager::maybeInjectFaults()
         if (!injector.inject(util::FaultKind::AppKill, now,
                              static_cast<std::uint64_t>(id), id))
             continue;
-        tel.count("fault.app_kill");
+        tel.count(trace::EventId::FaultAppKill);
         auto it = app_records.find(id);
         if (it != app_records.end())
             it->second.beats = srv.app(id).heartbeats().total();

@@ -36,6 +36,42 @@ planChoiceName(PlanChoice choice)
     }
 }
 
+namespace
+{
+
+/** The trace event counting one plan choice (the typed equivalent of
+ * the old "selector." + planChoiceName() key). */
+trace::EventId
+selectorTraceId(PlanChoice choice)
+{
+    switch (choice) {
+      case PlanChoice::Idle:
+        return trace::EventId::SelectorIdle;
+      case PlanChoice::CalibrationOnly:
+        return trace::EventId::SelectorCalibrationOnly;
+      case PlanChoice::UncappedRun:
+        return trace::EventId::SelectorUncappedRun;
+      case PlanChoice::SpatialUtility:
+        return trace::EventId::SelectorSpatialUtility;
+      case PlanChoice::FairRaplSpace:
+        return trace::EventId::SelectorFairRaplSpace;
+      case PlanChoice::FairRaplTime:
+        return trace::EventId::SelectorFairRaplTime;
+      case PlanChoice::ServerAvgSpace:
+        return trace::EventId::SelectorServerAvgSpace;
+      case PlanChoice::ServerAvgTime:
+        return trace::EventId::SelectorServerAvgTime;
+      case PlanChoice::TemporalUtility:
+        return trace::EventId::SelectorTemporalUtility;
+      case PlanChoice::EsdAssisted:
+        return trace::EventId::SelectorEsdAssisted;
+      default:
+        panic("invalid PlanChoice %d", static_cast<int>(choice));
+    }
+}
+
+} // namespace
+
 PlanSelector::PlanSelector(const power::PlatformConfig &platform,
                            AllocatorConfig allocator,
                            Telemetry *telemetry)
@@ -121,7 +157,7 @@ PlanSelector::selectUtilityAware(const PlanInputs &in) const
         // points) cannot be enforced.  Demote to the fair RAPL split
         // — hardware enforcement that needs no app cooperation.
         if (tel)
-            tel->count("degraded.knobs_to_rapl");
+            tel->count(trace::EventId::DegradedKnobsToRapl);
         PlanDecision fair = fairSplit(usable, in.curves.size(), true);
         fair.usableBudget = usable;
         return fair;
@@ -177,7 +213,7 @@ PlanSelector::selectUtilityAware(const PlanInputs &in) const
         // The policy would consider ESD plans but the device is gone
         // (fault or never installed): continue down the ladder to the
         // temporal plan.
-        tel->count("degraded.esd_to_time");
+        tel->count(trace::EventId::DegradedEsdToTime);
     }
 
     TemporalPlan plan = planner.temporalPlan(
@@ -218,7 +254,7 @@ PlanSelector::select(const PlanInputs &in) const
         d = selectUtilityAware(in);
     }
     if (tel)
-        tel->count("selector." + planChoiceName(d.choice));
+        tel->count(selectorTraceId(d.choice));
     return d;
 }
 

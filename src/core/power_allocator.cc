@@ -121,7 +121,7 @@ PowerAllocator::allocate(const std::vector<const UtilityCurve *> &curves,
     psm_assert(dynamic_budget >= 0.0);
     auto t0 = std::chrono::steady_clock::now();
     if (tel)
-        tel->count("allocator.allocate");
+        tel->count(trace::EventId::AllocatorAllocate);
 
     ReservePlan rp = reservePlan(curves, dynamic_budget);
     Allocation alloc = !cache || epoch == 0 || cfg.denseDp
@@ -129,7 +129,7 @@ PowerAllocator::allocate(const std::vector<const UtilityCurve *> &curves,
                            : solveCached(curves, dynamic_budget, rp,
                                          *cache, epoch);
     if (tel)
-        tel->observe("allocator.spatial", toTicks(wallSeconds(t0)));
+        tel->observe(trace::EventId::AllocatorSpatial, toTicks(wallSeconds(t0)));
     return alloc;
 }
 
@@ -360,17 +360,18 @@ PowerAllocator::solveCached(
                              cache.suf[i], cache.sufChoice[i]);
             }
             if (tel)
-                tel->count("allocator.dp_extends");
+                tel->count(trace::EventId::AllocatorDpExtends);
         } else {
             rebuildCache(curves, rp, cache, epoch);
             if (tel)
-                tel->count("allocator.dp_rebuilds");
+                tel->count(trace::EventId::AllocatorDpRebuilds);
         }
         match = Match::Full;
         hole = k; // not a combine
     } else if (tel) {
-        tel->count(match == Match::Full ? "allocator.dp_full_hits"
-                                        : "allocator.dp_combines");
+        tel->count(match == Match::Full
+                       ? trace::EventId::AllocatorDpFullHits
+                       : trace::EventId::AllocatorDpCombines);
     }
 
     std::vector<Watts> granted(k, 0.0);
@@ -437,7 +438,7 @@ PowerAllocator::distributeSlack(
     for (std::size_t iter = 0;; ++iter) {
         if (iter > max_upgrades) {
             if (tel)
-                tel->count("allocator.slack_guard_trips");
+                tel->count(trace::EventId::AllocatorSlackGuardTrips);
             warn("allocator slack pass exceeded %zu upgrades; "
                  "keeping the current allocation",
                  max_upgrades);
@@ -511,7 +512,7 @@ PowerAllocator::temporalPlan(
     ShareMode mode) const
 {
     if (tel)
-        tel->count("allocator.temporal_plan");
+        tel->count(trace::EventId::AllocatorTemporalPlan);
     TemporalPlan plan;
     std::vector<std::size_t> runnable;
     for (std::size_t i = 0; i < curves.size(); ++i) {
@@ -595,7 +596,7 @@ PowerAllocator::esdPlan(const std::vector<const UtilityCurve *> &curves,
     EsdPlan best;
     auto t0 = std::chrono::steady_clock::now();
     if (tel)
-        tel->count("allocator.esd_plan");
+        tel->count(trace::EventId::AllocatorEsdPlan);
     if (curves.empty())
         return best;
     if (cap <= idle_power + off_cm_power)
@@ -705,7 +706,7 @@ PowerAllocator::esdPlan(const std::vector<const UtilityCurve *> &curves,
         }
     }
     if (tel)
-        tel->observe("allocator.esd", toTicks(wallSeconds(t0)));
+        tel->observe(trace::EventId::AllocatorEsd, toTicks(wallSeconds(t0)));
     return best;
 }
 

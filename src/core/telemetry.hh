@@ -14,6 +14,22 @@
  *    (trigger, policy, selected plan, resulting coordination mode,
  *    objective, budget, latency).
  *
+ * Since the binary-tracing rework the bus is a thin façade over the
+ * trace core (src/trace): publishers use compile-time event ids
+ * (trace::EventId) and each publish appends one fixed-size binary
+ * TraceRecord to a private ring buffer — no allocation, no string
+ * hashing — with aggregation folded post hoc.  The historical
+ * string-keyed API is kept verbatim on top: registered names route to
+ * their dense id, unregistered names (tests, ad-hoc keys) land on an
+ * overflow map with the old std::map semantics.
+ *
+ * The string-keyed storage backend itself also survives, behind
+ * Backend::Legacy — the A/B escape hatch (like the allocator's
+ * denseDp): construct Telemetry(Backend::Legacy), or set
+ * PSM_TELEMETRY_LEGACY=1 to flip the process default, and every
+ * publish goes through the original maps.  bench_trace --check
+ * asserts both backends aggregate identically.
+ *
  * The bus is passive and allocation-light: publishing never influences
  * control decisions, so a manager with and without telemetry attached
  * behaves identically.  Text and JSON dump hooks serve the benches
@@ -30,6 +46,7 @@
 #include <string>
 #include <vector>
 
+#include "trace/trace.hh"
 #include "util/units.hh"
 
 namespace psm::core
@@ -59,45 +76,122 @@ struct TimerStat
 };
 
 /**
- * The bus itself.  Not thread-safe (the simulator is single-threaded);
- * cheap enough to leave attached in benches.
+ * The bus itself.  Not thread-safe (the simulator is single-threaded;
+ * parallel regions publish through TelemetryShards); cheap enough to
+ * leave attached in benches.
  */
 class Telemetry
 {
   public:
-    /** Bump a named counter. */
-    void count(const std::string &name, std::uint64_t delta = 1);
+    /** Which publish path this bus runs. */
+    enum class Backend
+    {
+        Trace,  ///< binary TraceRecords in a ring, dense aggregates
+        Legacy, ///< the original string-keyed std::map storage
+    };
 
-    /** Read a counter (0 when never bumped). */
-    std::uint64_t counter(const std::string &name) const;
+    /** A bus on the process-default backend (see setProcessDefault). */
+    Telemetry() : Telemetry(processDefault()) {}
+
+    explicit Telemetry(Backend backend) : mode(backend) {}
+
+    Backend backend() const { return mode; }
+
+    /**
+     * The backend new default-constructed buses use: Trace, unless
+     * PSM_TELEMETRY_LEGACY is set in the environment or a bench
+     * flipped it here (the A/B escape hatch, like denseDp).
+     */
+    static Backend processDefault();
+    static void setProcessDefault(Backend backend);
+
+    // --- publishing ---------------------------------------------------
+
+    /** Bump a counter by compile-time id (the hot path). */
+    void
+    count(trace::EventId id, std::uint64_t delta = 1)
+    {
+        if (mode == Backend::Trace)
+            trace_sink.count(id, delta);
+        else
+            legacyCount(id, delta);
+    }
+
+    /** Observe one duration by compile-time id (the hot path). */
+    void
+    observe(trace::EventId id, Tick elapsed)
+    {
+        if (mode == Backend::Trace)
+            trace_sink.observe(id, elapsed);
+        else
+            legacyObserve(id, elapsed);
+    }
+
+    /** Sample a last-value gauge by compile-time id. */
+    void
+    gauge(trace::EventId id, std::uint64_t value)
+    {
+        if (mode == Backend::Trace)
+            trace_sink.gauge(id, value);
+        else
+            legacyGauge(id, value);
+    }
+
+    /** Bump a named counter (registered names route to their dense
+     * id; unknown names keep the old map semantics). */
+    void count(const std::string &name, std::uint64_t delta = 1);
 
     /** Observe one duration under a named timer. */
     void observe(const std::string &name, Tick elapsed);
 
-    /** Read a timer's aggregate (zeroes when never observed). */
-    TimerStat timer(const std::string &name) const;
-
     /** Publish one allocation decision record. */
     void record(DecisionRecord rec);
 
-    /** All decision records, oldest first (bounded ring). */
-    const std::deque<DecisionRecord> &decisions() const
-    {
-        return decision_log;
-    }
+    // --- reading ------------------------------------------------------
 
-    /** All counters, name-ordered. */
-    const std::map<std::string, std::uint64_t> &counters() const
-    {
-        return counter_map;
-    }
+    /** Read a counter (0 when never bumped). */
+    std::uint64_t counter(const std::string &name) const;
+
+    /** Read a counter (or gauge) by id. */
+    std::uint64_t counter(trace::EventId id) const;
+
+    /** Read a timer's aggregate (zeroes when never observed). */
+    TimerStat timer(const std::string &name) const;
+
+    /** Read a timer's aggregate by id. */
+    TimerStat timer(trace::EventId id) const;
+
+    /** All decision records, oldest first (bounded ring).  On the
+     * trace backend this materializes from the packed binary log; the
+     * reference stays valid until the next publish or merge. */
+    const std::deque<DecisionRecord> &decisions() const;
+
+    /** All counters (and gauges), name-ordered.  Same view rules as
+     * decisions(). */
+    const std::map<std::string, std::uint64_t> &counters() const;
+
+    /** All timers, name-ordered.  Same view rules as decisions(). */
+    const std::map<std::string, TimerStat> &timers() const;
 
     /**
      * Fold another bus into this one: counters and timers add up,
-     * decision records append.  Used to aggregate per-node telemetry
-     * at cluster scope.
+     * gauges keep the incoming sample, decision records append
+     * (oldest dropped once past maxDecisions).  Used to aggregate
+     * per-node telemetry at cluster scope.  Trace-to-trace merges are
+     * dense O(#events) array folds; mixed-backend merges bridge
+     * through the name registry.
      */
     void merge(const Telemetry &other);
+
+    /**
+     * Fold this bus's registered aggregates into a raw trace sink
+     * (the serving layer's snapshot path).  Overflow-map names have
+     * no dense id and are skipped.
+     */
+    void foldInto(trace::TraceSink &out) const;
+
+    /** The underlying trace sink (empty on the legacy backend). */
+    const trace::TraceSink &sink() const { return trace_sink; }
 
     /** Drop everything. */
     void reset();
@@ -105,7 +199,9 @@ class Telemetry
     /** Human-readable dump (counters, timers, recent decisions). */
     void dumpText(std::ostream &os) const;
 
-    /** Machine-readable JSON dump of the same content. */
+    /** Machine-readable JSON dump of the same content.  Non-finite
+     * numbers (NaN/Inf objectives or budgets) are emitted as null so
+     * the output always parses. */
     void dumpJson(std::ostream &os) const;
 
     /**
@@ -115,9 +211,54 @@ class Telemetry
     static constexpr std::size_t maxDecisions = 65536;
 
   private:
+    /** One decision in fixed-size binary form: strings interned into
+     * the bus-local string table. */
+    struct PackedDecision
+    {
+        Tick when = 0;
+        Tick latency = 0;
+        double objective = 0.0;
+        Watts budget = 0.0;
+        std::uint64_t apps = 0;
+        std::uint32_t trigger = 0; ///< intern ids
+        std::uint32_t policy = 0;
+        std::uint32_t plan = 0;
+        std::uint32_t mode_name = 0;
+    };
+
+    Backend mode;
+    trace::TraceSink trace_sink;
+
+    /** Legacy storage; doubles as the unregistered-name overflow on
+     * the trace backend. */
     std::map<std::string, std::uint64_t> counter_map;
     std::map<std::string, TimerStat> timer_map;
-    std::deque<DecisionRecord> decision_log;
+    std::uint64_t overflow_gen = 0; ///< bumped on overflow writes
+
+    /** Trace-backend decision storage: packed records + interned
+     * strings.  Legacy stores DecisionRecords directly. */
+    std::deque<PackedDecision> packed_log;
+    std::vector<std::string> intern_table;
+    std::map<std::string, std::uint32_t> intern_ids;
+    std::uint64_t decision_gen = 0;
+    std::deque<DecisionRecord> decision_log; ///< legacy + trace view
+
+    // Materialized read views (trace backend), rebuilt when stale.
+    mutable std::map<std::string, std::uint64_t> counter_view;
+    mutable std::map<std::string, TimerStat> timer_view;
+    mutable std::uint64_t counter_view_seq = ~0ULL;
+    mutable std::uint64_t counter_view_overflow = ~0ULL;
+    mutable std::uint64_t timer_view_seq = ~0ULL;
+    mutable std::uint64_t timer_view_overflow = ~0ULL;
+    mutable std::uint64_t decision_view_gen = ~0ULL;
+
+    std::uint32_t intern(const std::string &s);
+    void pushPacked(const PackedDecision &d, const Telemetry &src);
+    void legacyCount(trace::EventId id, std::uint64_t delta);
+    void legacyObserve(trace::EventId id, Tick elapsed);
+    void legacyGauge(trace::EventId id, std::uint64_t value);
+    void refreshCounterView() const;
+    void refreshTimerView() const;
 };
 
 /**
@@ -129,7 +270,10 @@ class Telemetry
  * single-threaded control plane); parallel regions that want to
  * publish grab shard(i) — which no other index touches — and the
  * deterministic merge order keeps aggregated decision logs stable
- * across worker counts.
+ * across worker counts.  On the trace backend each shard is a ring
+ * of binary records and mergeInto() is a dense array fold per shard,
+ * so the merge cost no longer grows with the number of distinct
+ * names.
  */
 class TelemetryShards
 {

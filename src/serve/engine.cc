@@ -4,7 +4,10 @@
 
 #include "esd/battery.hh"
 #include "perf/workloads.hh"
+#include "replay.hh"
 #include "sim/application.hh"
+#include "trace/log.hh"
+#include "util/logging.hh"
 
 namespace psm::serve
 {
@@ -65,6 +68,53 @@ ServeEngine::ServeEngine(const EngineConfig &config)
 {
 }
 
+ServeEngine::~ServeEngine()
+{
+    stopCapture();
+}
+
+bool
+ServeEngine::startCapture(const std::string &path)
+{
+    auto writer = std::make_unique<trace::LogWriter>();
+    if (!writer->open(path)) {
+        warn("cannot open capture file %s", path.c_str());
+        return false;
+    }
+    if (!writer->writeRecord(
+            static_cast<std::uint8_t>(CaptureRecord::Config),
+            encodeCaptureConfig(cfg))) {
+        warn("cannot write capture config to %s", path.c_str());
+        return false;
+    }
+    capture_ = std::move(writer);
+    return true;
+}
+
+void
+ServeEngine::stopCapture()
+{
+    if (capture_) {
+        capture_->close();
+        capture_.reset();
+    }
+}
+
+bool
+ServeEngine::capturing() const
+{
+    return capture_ && capture_->isOpen();
+}
+
+std::uint64_t
+ServeEngine::surfaceEpochSum() const
+{
+    std::uint64_t sum = 0;
+    for (int ix = 0; ix < nodeCount(); ++ix)
+        sum += managerAt(ix).learning().surfaceEpoch();
+    return sum;
+}
+
 core::ServerManager &
 ServeEngine::managerAt(int ix)
 {
@@ -115,19 +165,30 @@ ServeEngine::routeArrival(const std::string &name) const
 ApplyOutcome
 ServeEngine::apply(const EventRequest &ev)
 {
+    ApplyOutcome out{ReplyStatus::BadRequest, -1, -1};
     switch (ev.op) {
       case EventOp::Advance:
-        return applyAdvance(ev);
+        out = applyAdvance(ev);
+        break;
       case EventOp::CapChange:
-        return applyCapChange(ev);
+        out = applyCapChange(ev);
+        break;
       case EventOp::Arrival:
-        return applyArrival(ev);
+        out = applyArrival(ev);
+        break;
       case EventOp::PhaseChange:
-        return applyPhaseChange(ev);
+        out = applyPhaseChange(ev);
+        break;
       case EventOp::Kill:
-        return applyKill(ev);
+        out = applyKill(ev);
+        break;
     }
-    return {ReplyStatus::BadRequest, -1, -1};
+    if (capture_) {
+        capture_->writeRecord(
+            static_cast<std::uint8_t>(CaptureRecord::Event),
+            encodeCapturedEvent(CapturedEvent{ev, out}));
+    }
+    return out;
 }
 
 ApplyOutcome
@@ -215,7 +276,14 @@ DecisionDigest
 ServeEngine::commit()
 {
     pool_.runAll(period);
-    return digest();
+    DecisionDigest d = digest();
+    if (capture_) {
+        capture_->writeRecord(
+            static_cast<std::uint8_t>(CaptureRecord::Commit),
+            encodeCapturedCommit(
+                CapturedCommit{d, surfaceEpochSum()}));
+    }
+    return d;
 }
 
 DecisionDigest
@@ -269,7 +337,8 @@ ServeEngine::allocatorPasses() const
 }
 
 void
-ServeEngine::fillSnapshot(StatsSnapshot &snap) const
+ServeEngine::fillSnapshot(StatsSnapshot &snap,
+                          const core::Telemetry *extra) const
 {
     snap.nodes = static_cast<std::uint32_t>(nodeCount());
     snap.activeApps = 0;
@@ -282,24 +351,26 @@ ServeEngine::fillSnapshot(StatsSnapshot &snap) const
         snap.allocatorPasses += node.reallocations;
     }
     snap.simNow = pool_[0].server->now();
-    // A fixed key list instead of aggregateTelemetry(): folding whole
-    // buses copies the decision deques, far too heavy for a per-batch
-    // snapshot.
-    static const char *const kKeys[] = {
-        "control.polls",
-        "manager.reallocations",
-        "event.E1-cap-change",
-        "event.E2-arrival",
-        "event.E3-departure",
-        "event.E4-drift",
-        "allocator.allocate",
-        "allocator.dp_extends",
-        "allocator.dp_rebuilds",
-        "learning.als_fits",
-        "learning.surface_cache_hits",
-    };
-    for (const char *key : kKeys)
-        snap.counters[key] = pool_.aggregateCounter(key);
+    // One dense trace fold across the pool (plus the service bus when
+    // given) instead of per-key string-map walks: every registered
+    // counter the cluster touched lands in the snapshot, so QUERY can
+    // reach anything by name.  Timers ride along as name.count /
+    // name.total_us / name.max_us triplets (1 tick = 100 us).
+    trace::TraceSink sink;
+    pool_.foldTrace(sink);
+    if (extra)
+        extra->foldInto(sink);
+    sink.forEachTouched([&](trace::EventId id) {
+        std::string name(trace::eventName(id));
+        if (trace::eventKind(id) == trace::EventKind::Timer) {
+            trace::TimerAgg agg = sink.timerValue(id);
+            snap.counters[name + ".count"] = agg.count;
+            snap.counters[name + ".total_us"] = agg.total * 100;
+            snap.counters[name + ".max_us"] = agg.max * 100;
+        } else {
+            snap.counters[name] = sink.counterValue(id);
+        }
+    });
 }
 
 } // namespace psm::serve

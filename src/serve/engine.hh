@@ -23,12 +23,18 @@
 #define PSM_SERVE_ENGINE_HH
 
 #include <cstdint>
+#include <memory>
 #include <string>
 
 #include "cluster/node_pool.hh"
 #include "core/manager.hh"
 #include "protocol.hh"
 #include "util/units.hh"
+
+namespace psm::trace
+{
+class LogWriter;
+}
 
 namespace psm::serve
 {
@@ -64,6 +70,7 @@ class ServeEngine
 {
   public:
     explicit ServeEngine(const EngineConfig &config);
+    ~ServeEngine();
 
     /**
      * Apply one event without deciding.  Advance runs the cluster
@@ -95,8 +102,41 @@ class ServeEngine
         return static_cast<int>(pool_.size());
     }
 
-    /** Fill the simulation-side fields of a service snapshot. */
-    void fillSnapshot(StatsSnapshot &snap) const;
+    /**
+     * Fill the simulation-side fields of a service snapshot: scalar
+     * rollups plus every registered trace counter the cluster touched
+     * (timers as name.count/.total_us/.max_us triplets), folded
+     * through one dense trace sink.
+     *
+     * @param extra Optional service-level bus (serve.* and pool.*
+     *        gauges) folded into the same emit.
+     */
+    void fillSnapshot(StatsSnapshot &snap,
+                      const core::Telemetry *extra = nullptr) const;
+
+    /**
+     * Cluster-wide sum of every node's learning-layer surface epoch:
+     * a cheap logical clock over calibration progress, captured with
+     * each commit so replay divergence is caught even on a digest
+     * hash collision.
+     */
+    std::uint64_t surfaceEpochSum() const;
+
+    /**
+     * Start recording every apply() and commit() to a binary capture
+     * at @p path (see serve/replay.hh).  Begin before the first event
+     * — the capture replays against a FRESH engine built from this
+     * config.
+     *
+     * @return false on I/O failure (the engine keeps running
+     *         uncaptured).
+     */
+    bool startCapture(const std::string &path);
+
+    /** Flush and close the capture (no-op when none is open). */
+    void stopCapture();
+
+    bool capturing() const;
 
     cluster::NodePool &pool() { return pool_; }
     const EngineConfig &config() const { return cfg; }
@@ -105,6 +145,7 @@ class ServeEngine
     EngineConfig cfg;
     cluster::NodePool pool_;
     Tick period;
+    std::unique_ptr<trace::LogWriter> capture_;
 
     core::ServerManager &managerAt(int ix);
     const core::ServerManager &managerAt(int ix) const;

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Deterministic record/replay for the serving engine.
+ *
+ * A capture is one binary record-log (trace/log.hh container) holding
+ * everything one ServeEngine run consumed and decided:
+ *
+ *   Config (1) — the engine's scalar configuration surface: node
+ *                count, caps, policy, seeds, control period and the
+ *                tuning scalars every runner (daemon CLI, benches,
+ *                tests) actually sets.  Nested sub-configs that no
+ *                runner touches ride on their defaults; a fingerprint
+ *                over the encoded surface guards against version
+ *                drift.
+ *   Event (2)  — one applied EventRequest plus the ApplyOutcome the
+ *                original run observed.
+ *   Commit (3) — one control-period commit: the DecisionDigest it
+ *                produced plus the cluster-wide surface-epoch sum
+ *                (the learning layer's logical clock — catching
+ *                divergence even when the decision hash collides).
+ *
+ * Because the engine is deterministic (seeded managers, attempt-keyed
+ * fault rolls, thread-count-independent shard merges), re-running the
+ * captured event stream against the captured config must reproduce
+ * every digest bit-exactly.  replayCapture() is that check; the
+ * psm-replay tool wraps it for the command line.
+ */
+
+#ifndef PSM_SERVE_REPLAY_HH
+#define PSM_SERVE_REPLAY_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "engine.hh"
+#include "protocol.hh"
+
+namespace psm::serve
+{
+
+/** Record types inside a capture log. */
+enum class CaptureRecord : std::uint8_t
+{
+    Config = 1,
+    Event = 2,
+    Commit = 3,
+};
+
+/** One applied event with the outcome the original run observed. */
+struct CapturedEvent
+{
+    EventRequest request;
+    ApplyOutcome outcome;
+};
+
+/** One commit with everything the original run decided. */
+struct CapturedCommit
+{
+    DecisionDigest digest;
+    std::uint64_t surfaceEpochSum = 0;
+};
+
+// --- record codecs --------------------------------------------------
+
+std::vector<std::uint8_t> encodeCaptureConfig(const EngineConfig &cfg);
+bool decodeCaptureConfig(const std::vector<std::uint8_t> &payload,
+                         EngineConfig &out);
+
+std::vector<std::uint8_t> encodeCapturedEvent(const CapturedEvent &ev);
+bool decodeCapturedEvent(const std::vector<std::uint8_t> &payload,
+                         CapturedEvent &out);
+
+std::vector<std::uint8_t>
+encodeCapturedCommit(const CapturedCommit &commit);
+bool decodeCapturedCommit(const std::vector<std::uint8_t> &payload,
+                          CapturedCommit &out);
+
+// --- whole-file view ------------------------------------------------
+
+/** A parsed capture: the config plus the ordered event/commit tape. */
+struct Capture
+{
+    EngineConfig config;
+
+    /** One tape step: an event application or a commit. */
+    struct Step
+    {
+        bool isCommit = false;
+        CapturedEvent event;   ///< valid when !isCommit
+        CapturedCommit commit; ///< valid when isCommit
+    };
+
+    std::vector<Step> steps;
+
+    std::size_t
+    commitCount() const
+    {
+        std::size_t n = 0;
+        for (const Step &s : steps)
+            n += s.isCommit ? 1 : 0;
+        return n;
+    }
+};
+
+/**
+ * Parse @p path into @p out.
+ * @return false (with @p error set) on I/O errors, corrupt records
+ *         or a missing leading Config record.
+ */
+bool readCapture(const std::string &path, Capture &out,
+                 std::string &error);
+
+// --- replay ---------------------------------------------------------
+
+/** What re-running a capture produced. */
+struct ReplayResult
+{
+    bool ok = false;           ///< every step reproduced bit-exactly
+    std::size_t events = 0;    ///< events re-applied
+    std::size_t commits = 0;   ///< commits re-run
+    std::size_t mismatches = 0;
+    /** Human-readable description of the first divergence (empty when
+     * ok). */
+    std::string firstMismatch;
+    DecisionDigest finalDigest;
+    std::uint64_t finalSurfaceEpochSum = 0;
+};
+
+/**
+ * Re-run @p capture's event tape against a fresh engine built from
+ * its config and compare every ApplyOutcome, DecisionDigest and
+ * surface-epoch sum against the recorded ones.
+ */
+ReplayResult replayCapture(const Capture &capture);
+
+} // namespace psm::serve
+
+#endif // PSM_SERVE_REPLAY_HH

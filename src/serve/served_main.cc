@@ -67,7 +67,8 @@ usage()
         "                  [--policy util-unaware|server-res-aware|"
         "app-aware|app-res-aware|app-res-esd-aware]\n"
         "                  [--esd] [--queue N] [--batch N] "
-        "[--seed N]\n");
+        "[--seed N]\n"
+        "                  [--capture FILE]\n");
     std::exit(2);
 }
 
@@ -80,6 +81,7 @@ main(int argc, char **argv)
 
     std::uint16_t port = 7633;
     serve::ServiceConfig cfg;
+    std::string capture_path;
 
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
@@ -108,6 +110,8 @@ main(int argc, char **argv)
         else if (arg == "--seed")
             cfg.engine.seedBase =
                 static_cast<std::uint64_t>(std::atoll(next()));
+        else if (arg == "--capture")
+            capture_path = next();
         else
             usage();
     }
@@ -117,6 +121,11 @@ main(int argc, char **argv)
         cfg.engine.manager.policy = core::PolicyKind::AppResEsdAware;
 
     serve::ServeService service(cfg);
+    // Capture must begin before the first event: psm-replay rebuilds
+    // a fresh engine from the recorded config.
+    if (!capture_path.empty() &&
+        !service.engine().startCapture(capture_path))
+        fatal("cannot open capture file %s", capture_path.c_str());
     if (!service.listenTcp(port))
         fatal("cannot listen on port %u",
               static_cast<unsigned>(port));

@@ -401,7 +401,6 @@ void
 ServeService::publishSnapshot()
 {
     auto next = std::make_shared<StatsSnapshot>();
-    eng.fillSnapshot(*next);
     next->eventsApplied = n_applied;
     next->batches = n_batches;
     next->maxBatch = n_max_batch;
@@ -417,17 +416,24 @@ ServeService::publishSnapshot()
     DecisionDigest digest = eng.digest();
     next->digestHash = digest.hash;
 
-    // Service-level counters join the engine's fixed key list so
-    // QUERY can reach everything by name.
-    next->counters["serve.events_applied"] = n_applied;
-    next->counters["serve.batches"] = n_batches;
-    next->counters["serve.max_batch"] = n_max_batch;
-    next->counters["serve.shed"] = next->shed;
-    next->counters["serve.expired"] = n_expired;
-    next->counters["serve.rejected"] = n_rejected;
-    next->counters["serve.queue_depth"] = next->queueDepth;
-    next->counters["serve.connections"] =
-        reactor.connectionCount();
+    // Service-level gauges ride the trace bus and fold into the same
+    // snapshot emit as the engine's counters, so QUERY can reach
+    // everything by name.
+    service_tel.gauge(trace::EventId::ServeEventsApplied, n_applied);
+    service_tel.gauge(trace::EventId::ServeBatches, n_batches);
+    service_tel.gauge(trace::EventId::ServeMaxBatch, n_max_batch);
+    service_tel.gauge(trace::EventId::ServeShed, next->shed);
+    service_tel.gauge(trace::EventId::ServeExpired, n_expired);
+    service_tel.gauge(trace::EventId::ServeRejected, n_rejected);
+    service_tel.gauge(trace::EventId::ServeQueueDepth,
+                      next->queueDepth);
+    service_tel.gauge(trace::EventId::ServeConnections,
+                      reactor.connectionCount());
+    service_tel.gauge(trace::EventId::PoolQueueDepth,
+                      next->poolQueueDepth);
+    service_tel.gauge(trace::EventId::PoolInflight,
+                      next->poolInflight);
+    eng.fillSnapshot(*next, &service_tel);
 
     std::lock_guard lk(snap_mtx);
     last_digest = digest;

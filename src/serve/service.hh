@@ -164,6 +164,10 @@ class ServeService : private net::Reactor::Handler
     std::uint64_t n_expired = 0;
     std::uint64_t n_rejected = 0;
 
+    /** Service-level gauge bus (serve.*, pool.*); control thread
+     * only, folded into each published snapshot. */
+    core::Telemetry service_tel;
+
     mutable std::mutex snap_mtx;
     std::shared_ptr<const StatsSnapshot> snap;
     DecisionDigest last_digest; ///< guarded by snap_mtx

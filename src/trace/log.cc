@@ -1,0 +1,172 @@
+#include "log.hh"
+
+#include <cstring>
+
+namespace psm::trace
+{
+
+namespace
+{
+
+/** 64 MiB: far beyond any sane capture record; bounds corrupt reads. */
+constexpr std::uint32_t kMaxRecordLength = 64u << 20;
+
+bool
+writeBytes(std::ofstream &out, const void *data, std::size_t n)
+{
+    out.write(static_cast<const char *>(data),
+              static_cast<std::streamsize>(n));
+    return out.good();
+}
+
+bool
+writeU32(std::ofstream &out, std::uint32_t v)
+{
+    std::uint8_t b[4];
+    for (int i = 0; i < 4; ++i)
+        b[i] = static_cast<std::uint8_t>(v >> (i * 8));
+    return writeBytes(out, b, sizeof(b));
+}
+
+bool
+writeU64(std::ofstream &out, std::uint64_t v)
+{
+    std::uint8_t b[8];
+    for (int i = 0; i < 8; ++i)
+        b[i] = static_cast<std::uint8_t>(v >> (i * 8));
+    return writeBytes(out, b, sizeof(b));
+}
+
+bool
+readBytes(std::ifstream &in, void *data, std::size_t n)
+{
+    in.read(static_cast<char *>(data),
+            static_cast<std::streamsize>(n));
+    return in.gcount() == static_cast<std::streamsize>(n);
+}
+
+bool
+readU32(std::ifstream &in, std::uint32_t &v)
+{
+    std::uint8_t b[4];
+    if (!readBytes(in, b, sizeof(b)))
+        return false;
+    v = 0;
+    for (int i = 0; i < 4; ++i)
+        v |= static_cast<std::uint32_t>(b[i]) << (i * 8);
+    return true;
+}
+
+bool
+readU64(std::ifstream &in, std::uint64_t &v)
+{
+    std::uint8_t b[8];
+    if (!readBytes(in, b, sizeof(b)))
+        return false;
+    v = 0;
+    for (int i = 0; i < 8; ++i)
+        v |= static_cast<std::uint64_t>(b[i]) << (i * 8);
+    return true;
+}
+
+} // namespace
+
+void
+putF64(std::vector<std::uint8_t> &buf, double v)
+{
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    putU64(buf, bits);
+}
+
+bool
+ByteCursor::getF64(double &v)
+{
+    std::uint64_t bits;
+    if (!getU64(bits))
+        return false;
+    std::memcpy(&v, &bits, sizeof(v));
+    return true;
+}
+
+bool
+LogWriter::open(const std::string &path)
+{
+    out.open(path, std::ios::binary | std::ios::trunc);
+    if (!out.is_open())
+        return false;
+    if (!writeU64(out, kLogMagic) || !writeU32(out, kLogVersion)) {
+        out.close();
+        return false;
+    }
+    return true;
+}
+
+bool
+LogWriter::writeRecord(std::uint8_t type,
+                       const std::vector<std::uint8_t> &payload)
+{
+    if (!out.is_open())
+        return false;
+    if (!writeBytes(out, &type, 1) ||
+        !writeU32(out, static_cast<std::uint32_t>(payload.size())))
+        return false;
+    if (!payload.empty() &&
+        !writeBytes(out, payload.data(), payload.size()))
+        return false;
+    return true;
+}
+
+void
+LogWriter::close()
+{
+    if (out.is_open()) {
+        out.flush();
+        out.close();
+    }
+}
+
+bool
+LogReader::open(const std::string &path, std::string &error)
+{
+    in.open(path, std::ios::binary);
+    if (!in.is_open()) {
+        error = "cannot open '" + path + "'";
+        return false;
+    }
+    std::uint64_t magic = 0;
+    std::uint32_t version = 0;
+    if (!readU64(in, magic) || magic != kLogMagic) {
+        error = "'" + path + "' is not a psm trace log (bad magic)";
+        return false;
+    }
+    if (!readU32(in, version) || version != kLogVersion) {
+        error = "unsupported trace log version";
+        return false;
+    }
+    return true;
+}
+
+bool
+LogReader::readRecord(std::uint8_t &type,
+                      std::vector<std::uint8_t> &payload)
+{
+    err.clear();
+    std::uint8_t t = 0;
+    if (!readBytes(in, &t, 1))
+        return false; // clean EOF
+    std::uint32_t len = 0;
+    if (!readU32(in, len) || len > kMaxRecordLength) {
+        err = "truncated or corrupt record header";
+        return false;
+    }
+    payload.resize(len);
+    if (len > 0 && !readBytes(in, payload.data(), len)) {
+        err = "truncated record payload";
+        return false;
+    }
+    type = t;
+    return true;
+}
+
+} // namespace psm::trace

@@ -20,12 +20,15 @@
 #include <thread>
 #include <vector>
 
+#include <cstdio>
+
 #include "net/frame.hh"
 #include "net/message_reader.hh"
 #include "net/object_pool.hh"
 #include "serve/client.hh"
 #include "serve/engine.hh"
 #include "serve/protocol.hh"
+#include "serve/replay.hh"
 #include "serve/service.hh"
 #include "util/logging.hh"
 #include "util/thread_pool.hh"
@@ -386,6 +389,111 @@ TEST(ServeEngineTest, DigestDeterministicAcrossInstances)
     EXPECT_NE(a.hash, c.hash);
 }
 
+TEST(ServeEngineTest, SnapshotBuiltFromTraceAggregates)
+{
+    ServeEngine eng(smallEngine(2));
+    EventRequest arrive;
+    arrive.op = EventOp::Arrival;
+    arrive.workload = 1;
+    arrive.node = -1;
+    ASSERT_EQ(eng.apply(arrive).status, ReplyStatus::Ok);
+    eng.commit();
+
+    serve::StatsSnapshot snap;
+    eng.fillSnapshot(snap);
+    // Registered counters the commit must have touched.
+    EXPECT_GE(snap.counters.at("control.polls"), 1u);
+    EXPECT_GE(snap.counters.at("manager.reallocations"), 1u);
+    EXPECT_EQ(snap.counters.at("event.E2-arrival"), 1u);
+    // Timers ride along as count/total_us/max_us triplets.
+    EXPECT_GE(snap.counters.at("manager.reallocate.count"), 1u);
+    EXPECT_TRUE(snap.counters.count("manager.reallocate.total_us"));
+    EXPECT_GE(snap.counters.at("cluster.step.count"), 1u);
+
+    // A service-level bus folds into the same emit (gauges win by
+    // last write, so the sample survives as published).
+    core::Telemetry service_bus;
+    service_bus.gauge(trace::EventId::ServeShed, 7);
+    serve::StatsSnapshot with_extra;
+    eng.fillSnapshot(with_extra, &service_bus);
+    EXPECT_EQ(with_extra.counters.at("serve.shed"), 7u);
+}
+
+// --- Record/replay -------------------------------------------------
+
+TEST(ServeReplay, CaptureReplaysBitExact)
+{
+    const std::string path = "serve_capture_test.bin";
+    serve::EngineConfig cfg = smallEngine(2);
+    cfg.seedBase = 21;
+
+    serve::DecisionDigest recorded;
+    {
+        ServeEngine eng(cfg);
+        ASSERT_TRUE(eng.startCapture(path));
+        EventRequest arrive;
+        arrive.op = EventOp::Arrival;
+        arrive.node = -1;
+        for (std::uint32_t w = 0; w < 3; ++w) {
+            arrive.workload = w;
+            eng.apply(arrive);
+        }
+        eng.commit();
+        EventRequest cap;
+        cap.op = EventOp::CapChange;
+        cap.node = -1;
+        cap.value = 60.0;
+        eng.apply(cap);
+        recorded = eng.commit();
+        eng.stopCapture();
+    }
+
+    serve::Capture capture;
+    std::string error;
+    ASSERT_TRUE(serve::readCapture(path, capture, error)) << error;
+    std::remove(path.c_str());
+    EXPECT_EQ(capture.config.nodes, 2);
+    EXPECT_EQ(capture.config.seedBase, 21u);
+    EXPECT_EQ(capture.steps.size(), 6u); // 4 events + 2 commits
+    EXPECT_EQ(capture.commitCount(), 2u);
+
+    serve::ReplayResult res = serve::replayCapture(capture);
+    EXPECT_TRUE(res.ok) << res.firstMismatch;
+    EXPECT_EQ(res.events, 4u);
+    EXPECT_EQ(res.commits, 2u);
+    EXPECT_TRUE(res.finalDigest == recorded);
+}
+
+TEST(ServeReplay, DivergentCaptureIsReported)
+{
+    const std::string path = "serve_capture_diverge.bin";
+    serve::EngineConfig cfg = smallEngine(1);
+    {
+        ServeEngine eng(cfg);
+        ASSERT_TRUE(eng.startCapture(path));
+        EventRequest arrive;
+        arrive.op = EventOp::Arrival;
+        arrive.workload = 0;
+        arrive.node = 0;
+        eng.apply(arrive);
+        eng.commit();
+        eng.stopCapture();
+    }
+    serve::Capture capture;
+    std::string error;
+    ASSERT_TRUE(serve::readCapture(path, capture, error)) << error;
+    std::remove(path.c_str());
+
+    // Tamper with the recorded digest: replay must flag commit 1.
+    for (auto &step : capture.steps) {
+        if (step.isCommit)
+            step.commit.digest.hash ^= 1;
+    }
+    serve::ReplayResult res = serve::replayCapture(capture);
+    EXPECT_FALSE(res.ok);
+    EXPECT_NE(res.firstMismatch.find("commit 1"), std::string::npos);
+}
+
 // --- Thread-pool gauges --------------------------------------------
 
 TEST(ServeGauges, PoolBacklogReturnsToZero)
@@ -591,6 +699,13 @@ TEST(ServeDaemon, StatsAndQueryServedFromSnapshot)
     ASSERT_TRUE(cli.query("serve.batches", q));
     EXPECT_TRUE(q.found);
     EXPECT_EQ(q.value, 1u);
+    // The snapshot is built from the trace core: registered timers
+    // are reachable by name too, as count/total_us/max_us triplets.
+    ASSERT_TRUE(cli.query("manager.reallocate.count", q));
+    EXPECT_TRUE(q.found);
+    EXPECT_GE(q.value, 1u);
+    ASSERT_TRUE(cli.query("pool.queue_depth", q));
+    EXPECT_TRUE(q.found);
     ASSERT_TRUE(cli.query("no.such.counter", q));
     EXPECT_FALSE(q.found);
     service.stop();

@@ -1,0 +1,360 @@
+/**
+ * @file
+ * Tests for the binary trace core and the Telemetry façade riding on
+ * it: the event registry, TraceSink fold/merge semantics, the binary
+ * record-log container, façade routing (registered names onto dense
+ * ids, unknown names onto the overflow map), the decision-ring bound
+ * across merges, JSON escaping/non-finite hygiene, and trace/legacy
+ * aggregate equivalence under TelemetryShards-style parallel publish.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <string>
+
+#include "core/telemetry.hh"
+#include "trace/log.hh"
+#include "trace/trace.hh"
+#include "util/thread_pool.hh"
+
+namespace psm
+{
+namespace
+{
+
+using core::DecisionRecord;
+using core::Telemetry;
+using core::TelemetryShards;
+using core::TimerStat;
+
+// --- Event registry ------------------------------------------------
+
+TEST(TraceRegistry, NamesRoundTripToDenseIds)
+{
+    ASSERT_GT(trace::kEventCount, 0u);
+    for (std::size_t i = 0; i < trace::kEventCount; ++i) {
+        auto id = static_cast<trace::EventId>(i);
+        std::string_view name = trace::eventName(id);
+        ASSERT_FALSE(name.empty());
+        trace::EventId back;
+        ASSERT_TRUE(trace::lookupEvent(name, back)) << name;
+        EXPECT_EQ(back, id) << name;
+    }
+    trace::EventId out;
+    EXPECT_FALSE(trace::lookupEvent("definitely.not.registered", out));
+}
+
+// --- TraceSink -----------------------------------------------------
+
+TEST(TraceSink, FoldAndMergeSemantics)
+{
+    trace::TraceSink a;
+    // Push well past the ring capacity: the automatic fold must keep
+    // aggregates exact.
+    for (std::size_t i = 0;
+         i < trace::TraceSink::kDefaultRingCapacity * 3 + 17; ++i)
+        a.count(trace::EventId::ControlPolls);
+    a.observe(trace::EventId::ManagerReallocate, 10);
+    a.observe(trace::EventId::ManagerReallocate, 4);
+    a.gauge(trace::EventId::PoolInflight, 5);
+
+    EXPECT_EQ(a.counterValue(trace::EventId::ControlPolls),
+              trace::TraceSink::kDefaultRingCapacity * 3 + 17);
+    trace::TimerAgg t = a.timerValue(trace::EventId::ManagerReallocate);
+    EXPECT_EQ(t.count, 2u);
+    EXPECT_EQ(t.total, 14u);
+    EXPECT_EQ(t.max, 10u);
+    EXPECT_TRUE(a.touched(trace::EventId::PoolInflight));
+    EXPECT_FALSE(a.touched(trace::EventId::FaultMeterNan));
+
+    trace::TraceSink b;
+    b.count(trace::EventId::ControlPolls, 3);
+    b.observe(trace::EventId::ManagerReallocate, 20);
+    b.gauge(trace::EventId::PoolInflight, 9);
+
+    a.mergeFrom(b);
+    EXPECT_EQ(a.counterValue(trace::EventId::ControlPolls),
+              trace::TraceSink::kDefaultRingCapacity * 3 + 20);
+    t = a.timerValue(trace::EventId::ManagerReallocate);
+    EXPECT_EQ(t.count, 3u);
+    EXPECT_EQ(t.total, 34u);
+    EXPECT_EQ(t.max, 20u);
+    // Gauges: the merged-in sink's sample wins.
+    EXPECT_EQ(a.counterValue(trace::EventId::PoolInflight), 9u);
+
+    a.reset();
+    EXPECT_TRUE(a.empty());
+    EXPECT_EQ(a.counterValue(trace::EventId::ControlPolls), 0u);
+}
+
+// --- Binary record-log container -----------------------------------
+
+TEST(TraceLog, ContainerRoundTripAndCorruption)
+{
+    const std::string path = "trace_log_test.bin";
+    {
+        trace::LogWriter w;
+        ASSERT_TRUE(w.open(path));
+        ASSERT_TRUE(w.writeRecord(1, {0xaa, 0xbb}));
+        ASSERT_TRUE(w.writeRecord(2, {}));
+        ASSERT_TRUE(w.writeRecord(7, {1, 2, 3, 4, 5}));
+        w.close();
+    }
+    {
+        trace::LogReader r;
+        std::string error;
+        ASSERT_TRUE(r.open(path, error)) << error;
+        std::uint8_t type = 0;
+        std::vector<std::uint8_t> payload;
+        ASSERT_TRUE(r.readRecord(type, payload));
+        EXPECT_EQ(type, 1);
+        EXPECT_EQ(payload, (std::vector<std::uint8_t>{0xaa, 0xbb}));
+        ASSERT_TRUE(r.readRecord(type, payload));
+        EXPECT_EQ(type, 2);
+        EXPECT_TRUE(payload.empty());
+        ASSERT_TRUE(r.readRecord(type, payload));
+        EXPECT_EQ(type, 7);
+        // Clean EOF: readRecord false, no error.
+        EXPECT_FALSE(r.readRecord(type, payload));
+        EXPECT_TRUE(r.error().empty());
+    }
+    // Truncate mid-record: the reader must flag corruption, not EOF.
+    {
+        std::ofstream out(path, std::ios::binary | std::ios::app);
+        out.put(static_cast<char>(3)); // type byte, then nothing
+    }
+    {
+        trace::LogReader r;
+        std::string error;
+        ASSERT_TRUE(r.open(path, error)) << error;
+        std::uint8_t type = 0;
+        std::vector<std::uint8_t> payload;
+        while (r.readRecord(type, payload)) {
+        }
+        EXPECT_FALSE(r.error().empty());
+    }
+    std::remove(path.c_str());
+}
+
+// --- Façade routing ------------------------------------------------
+
+TEST(TelemetryTrace, StringNamesRouteToDenseSlots)
+{
+    Telemetry tel(Telemetry::Backend::Trace);
+    tel.count("control.polls", 3);
+    tel.count(trace::EventId::ControlPolls, 2);
+    EXPECT_EQ(tel.counter("control.polls"), 5u);
+    EXPECT_EQ(tel.counter(trace::EventId::ControlPolls), 5u);
+
+    tel.observe("manager.reallocate", 7);
+    tel.observe(trace::EventId::ManagerReallocate, 3);
+    TimerStat t = tel.timer("manager.reallocate");
+    EXPECT_EQ(t.count, 2u);
+    EXPECT_EQ(t.total, 10u);
+    EXPECT_EQ(t.max, 7u);
+
+    // Registered names must not leak into the overflow map: the view
+    // carries exactly one entry for the routed key.
+    EXPECT_EQ(tel.counters().count("control.polls"), 1u);
+    EXPECT_EQ(tel.counters().at("control.polls"), 5u);
+}
+
+TEST(TelemetryTrace, UnregisteredNamesKeepMapSemantics)
+{
+    Telemetry tel(Telemetry::Backend::Trace);
+    tel.count("x");
+    tel.count("x", 4);
+    tel.observe("custom.duration", 9);
+    EXPECT_EQ(tel.counter("x"), 5u);
+    EXPECT_EQ(tel.timer("custom.duration").max, 9u);
+    EXPECT_EQ(tel.counter("never.bumped"), 0u);
+    // Mixed views: overflow and registered names in one name-ordered
+    // map.
+    tel.count(trace::EventId::ControlPolls);
+    const auto &counters = tel.counters();
+    EXPECT_EQ(counters.size(), 2u);
+    EXPECT_EQ(counters.begin()->first, "control.polls");
+}
+
+TEST(TelemetryTrace, BackendDefaultFlips)
+{
+    Telemetry::Backend saved = Telemetry::processDefault();
+    Telemetry::setProcessDefault(Telemetry::Backend::Legacy);
+    EXPECT_EQ(Telemetry().backend(), Telemetry::Backend::Legacy);
+    Telemetry::setProcessDefault(Telemetry::Backend::Trace);
+    EXPECT_EQ(Telemetry().backend(), Telemetry::Backend::Trace);
+    Telemetry::setProcessDefault(saved);
+}
+
+// --- Decision ring bound across merge ------------------------------
+
+TEST(TelemetryTrace, DecisionRingBoundHeldAcrossMerge)
+{
+    auto fill = [](Telemetry &tel, Tick base, std::size_t n) {
+        DecisionRecord rec;
+        rec.policy = "app-res-aware";
+        rec.plan = "spatial-utility";
+        rec.mode = "space";
+        rec.trigger = "refresh";
+        for (std::size_t i = 0; i < n; ++i) {
+            rec.when = base + static_cast<Tick>(i);
+            tel.record(rec);
+        }
+    };
+    const std::size_t n = Telemetry::maxDecisions - 1000;
+    Telemetry a(Telemetry::Backend::Trace);
+    Telemetry b(Telemetry::Backend::Trace);
+    fill(a, 0, n);
+    fill(b, 1u << 20, n);
+    ASSERT_EQ(a.decisions().size(), n);
+
+    // Two near-full logs: the merged ring must stay bounded, keeping
+    // the newest records (all of b's survive, a's oldest drop).
+    a.merge(b);
+    const auto &log = a.decisions();
+    ASSERT_EQ(log.size(), Telemetry::maxDecisions);
+    const std::size_t dropped = 2 * n - Telemetry::maxDecisions;
+    EXPECT_EQ(log.front().when, static_cast<Tick>(dropped));
+    EXPECT_EQ(log.back().when,
+              static_cast<Tick>((1u << 20) + n - 1));
+    EXPECT_EQ(log.back().plan, "spatial-utility");
+}
+
+// --- JSON hygiene --------------------------------------------------
+
+TEST(TelemetryTrace, JsonEscapesControlCharacters)
+{
+    Telemetry tel(Telemetry::Backend::Trace);
+    DecisionRecord rec;
+    rec.trigger = std::string("a\"b\\c\nd\te\rf\x01g\bh\ff");
+    rec.policy = "p";
+    rec.plan = "q";
+    rec.mode = "m";
+    tel.record(rec);
+
+    std::ostringstream os;
+    tel.dumpJson(os);
+    std::string json = os.str();
+    EXPECT_NE(json.find("a\\\"b\\\\c\\nd\\te\\rf\\u0001g\\bh\\ff"),
+              std::string::npos)
+        << json;
+    // No raw control characters may survive into the document.
+    for (char c : json)
+        EXPECT_GE(static_cast<unsigned char>(c), 0x20u);
+}
+
+TEST(TelemetryTrace, JsonNonFiniteNumbersAreNull)
+{
+    for (auto backend :
+         {Telemetry::Backend::Trace, Telemetry::Backend::Legacy}) {
+        Telemetry tel(backend);
+        DecisionRecord rec;
+        rec.trigger = "t";
+        rec.policy = "p";
+        rec.plan = "q";
+        rec.mode = "m";
+        rec.objective = std::numeric_limits<double>::quiet_NaN();
+        rec.budget = std::numeric_limits<double>::infinity();
+        tel.record(rec);
+
+        std::ostringstream os;
+        tel.dumpJson(os);
+        std::string json = os.str();
+        EXPECT_NE(json.find("\"objective\":null"), std::string::npos)
+            << json;
+        EXPECT_NE(json.find("\"budget_w\":null"), std::string::npos)
+            << json;
+        EXPECT_EQ(json.find("nan"), std::string::npos) << json;
+        EXPECT_EQ(json.find("inf"), std::string::npos) << json;
+    }
+}
+
+// --- Trace/legacy equivalence under parallel publish ---------------
+
+void
+publishShardMix(TelemetryShards &shards)
+{
+    util::ThreadPool::global().parallelFor(
+        shards.size(), [&](std::size_t s) {
+            Telemetry &bus = shards.shard(s);
+            for (std::size_t i = 0; i < 200; ++i) {
+                bus.count(trace::EventId::ControlPolls);
+                bus.count("allocator.allocate", s + 1);
+                bus.observe(trace::EventId::ManagerReallocate,
+                            static_cast<Tick>((s * 7 + i) % 11));
+                bus.observe("custom.timer",
+                            static_cast<Tick>(i % 5 + s));
+                bus.count("custom.key", 2);
+            }
+            DecisionRecord rec;
+            rec.when = static_cast<Tick>(s);
+            rec.trigger = "shard";
+            rec.policy = "p";
+            rec.plan = "q";
+            rec.mode = "m";
+            bus.record(rec);
+        });
+}
+
+TEST(TelemetryTrace, TraceAndLegacyAggregateIdentically)
+{
+    Telemetry::Backend saved = Telemetry::processDefault();
+
+    Telemetry::setProcessDefault(Telemetry::Backend::Trace);
+    TelemetryShards trace_shards(8);
+    publishShardMix(trace_shards);
+    Telemetry trace_bus(Telemetry::Backend::Trace);
+    trace_shards.mergeInto(trace_bus);
+
+    Telemetry::setProcessDefault(Telemetry::Backend::Legacy);
+    TelemetryShards legacy_shards(8);
+    publishShardMix(legacy_shards);
+    Telemetry legacy_bus(Telemetry::Backend::Legacy);
+    legacy_shards.mergeInto(legacy_bus);
+
+    Telemetry::setProcessDefault(saved);
+
+    // Counter views must be identical maps.
+    EXPECT_EQ(trace_bus.counters(), legacy_bus.counters());
+
+    // Timer views: same keys, same aggregates.
+    const auto &tt = trace_bus.timers();
+    const auto &lt = legacy_bus.timers();
+    ASSERT_EQ(tt.size(), lt.size());
+    for (const auto &[name, stat] : tt) {
+        auto it = lt.find(name);
+        ASSERT_NE(it, lt.end()) << name;
+        EXPECT_EQ(stat.count, it->second.count) << name;
+        EXPECT_EQ(stat.total, it->second.total) << name;
+        EXPECT_EQ(stat.max, it->second.max) << name;
+    }
+
+    // Decision logs: same order (shard-index merge order), same
+    // content.
+    const auto &td = trace_bus.decisions();
+    const auto &ld = legacy_bus.decisions();
+    ASSERT_EQ(td.size(), ld.size());
+    ASSERT_EQ(td.size(), 8u);
+    for (std::size_t i = 0; i < td.size(); ++i) {
+        EXPECT_EQ(td[i].when, ld[i].when);
+        EXPECT_EQ(td[i].trigger, ld[i].trigger);
+    }
+
+    // Cross-backend merge bridges through the name registry: folding
+    // the legacy bus into the trace bus doubles every aggregate.
+    Telemetry combined(Telemetry::Backend::Trace);
+    combined.merge(trace_bus);
+    combined.merge(legacy_bus);
+    EXPECT_EQ(combined.counter("control.polls"),
+              2 * trace_bus.counter("control.polls"));
+    EXPECT_EQ(combined.timer("manager.reallocate").count,
+              2 * trace_bus.timer("manager.reallocate").count);
+}
+
+} // namespace
+} // namespace psm
