@@ -25,6 +25,19 @@ clusterPolicyName(ClusterPolicy policy)
     }
 }
 
+std::string
+topologyName(Topology topology)
+{
+    switch (topology) {
+      case Topology::Flat:
+        return "Flat";
+      case Topology::Tree:
+        return "Tree";
+      default:
+        panic("invalid Topology %d", static_cast<int>(topology));
+    }
+}
+
 ClusterConfig::ClusterConfig() : esd(esd::leadAcidUps())
 {
 }
@@ -107,6 +120,8 @@ ClusterManager::buildNodes()
                             : core::PolicyKind::AppResEsdAware;
     pc.seedBase = cfg.seed;
     pc.faults = cfg.faults;
+    pc.shardSize = cfg.shardSize;
+    pc.seedWorkloadCorpus = cfg.seedWorkloadCorpus;
     if (cfg.policy == ClusterPolicy::EqualOurs)
         pc.esd = cfg.esd;
     pool.emplace(pc);
@@ -115,6 +130,32 @@ ClusterManager::buildNodes()
         app.simAppId = node.manager->addApp(app.profile);
         app.server = app.homeServer;
     }
+}
+
+void
+ClusterManager::accountManagedReplay(ClusterResult &result) const
+{
+    double viol = 0.0;
+    for (const auto &node : *pool) {
+        result.totalEnergy += node.server->meter().totalEnergy();
+        viol += node.server->meter().violationFraction();
+    }
+    result.capViolationFraction =
+        viol / static_cast<double>(pool->size());
+    result.avgClusterPower =
+        result.totalEnergy / toSeconds(result.duration);
+
+    double perf = 0.0;
+    for (const auto &node : *pool) {
+        for (const auto &rec : node.manager->records())
+            perf += rec.normalizedPerf(node.server->now());
+    }
+    result.aggregatePerf = perf / static_cast<double>(ledger.size());
+    result.perfPerKw =
+        result.aggregatePerf / (result.avgClusterPower / 1000.0);
+    core::TimerStat spatial = pool->aggregateTimer("allocator.spatial");
+    result.allocatorCalls = spatial.count;
+    result.allocatorSeconds = toSeconds(spatial.total);
 }
 
 ClusterResult
@@ -134,27 +175,78 @@ ClusterManager::replayEqual(const PowerTrace &caps)
 
     ClusterResult result;
     result.duration = caps.duration();
-    double viol = 0.0;
-    for (auto &node : *pool) {
-        result.totalEnergy += node.server->meter().totalEnergy();
-        viol += node.server->meter().violationFraction();
-    }
-    result.capViolationFraction =
-        viol / static_cast<double>(pool->size());
-    result.avgClusterPower =
-        result.totalEnergy / toSeconds(result.duration);
+    accountManagedReplay(result);
+    return result;
+}
 
-    double perf = 0.0;
-    for (auto &node : *pool) {
-        for (const auto &rec : node.manager->records())
-            perf += rec.normalizedPerf(node.server->now());
+ClusterResult
+ClusterManager::replayTree(const PowerTrace &caps)
+{
+    buildNodes();
+
+    PowerTreeConfig tc;
+    tc.leaves = cfg.servers;
+    tc.depth = std::max(1, cfg.treeDepth);
+    tc.fanout = cfg.treeFanout;
+    tc.leafCap = cfg.leafCapacity;
+    tc.oversubscription = cfg.oversubscription;
+    PowerTree tree(tc);
+
+    std::vector<Joules> last_energy(pool->size(), 0.0);
+    std::uint64_t violations = 0;
+    std::uint64_t cap_pushes = 0;
+
+    for (Watts cap : caps.values) {
+        tel.count(trace::EventId::ClusterCapUpdates);
+        if (cfg.demandAwareSplit) {
+            // Leaf demand := last interval's average draw.  Metered
+            // energy is simulated (deterministic), so the resulting
+            // splits replay identically at any thread count.  Only
+            // leaves whose draw moved touch the tree, keeping the
+            // epoch churn proportional to actual change.
+            for (std::size_t s = 0; s < pool->size(); ++s) {
+                Joules e = (*pool)[s].server->meter().totalEnergy();
+                double draw =
+                    (e - last_energy[s]) / toSeconds(caps.interval);
+                last_energy[s] = e;
+                if (draw > 0.0 && draw != tree.leafDemand(s))
+                    tree.setLeafDemand(s, draw);
+            }
+        }
+        tree.setRootCap(cap);
+        tree.resolve();
+        // Only leaves whose grant changed pay an E1: untouched
+        // sibling subtrees keep their caps, their managers see no
+        // event, and their next interval runs allocator-free.
+        for (std::size_t leaf : tree.changedLeaves()) {
+            auto &node = (*pool)[leaf];
+            if (node.manager->setCapIfChanged(tree.leafGrant(leaf))) {
+                ++cap_pushes;
+                tel.count(trace::EventId::TreeCapPushes);
+            }
+        }
+        if (!tree.checkConservation()) {
+            ++violations;
+            tel.count(trace::EventId::TreeConservationViolations);
+        }
+        pool->runAll(caps.interval, &tel);
     }
-    result.aggregatePerf = perf / static_cast<double>(ledger.size());
-    result.perfPerKw =
-        result.aggregatePerf / (result.avgClusterPower / 1000.0);
-    core::TimerStat spatial = pool->aggregateTimer("allocator.spatial");
-    result.allocatorCalls = spatial.count;
-    result.allocatorSeconds = toSeconds(spatial.total);
+
+    ClusterResult result;
+    result.duration = caps.duration();
+    accountManagedReplay(result);
+
+    const PowerTreeStats &ts = tree.stats();
+    tel.count(trace::EventId::TreeResolves, ts.resolves);
+    tel.count(trace::EventId::TreeNodeVisits, ts.nodeVisits);
+    tel.count(trace::EventId::TreeNodePrunes, ts.nodePrunes);
+    tel.count(trace::EventId::TreeGrantChanges, ts.grantChanges);
+    result.treeDepth = tree.depth();
+    result.treeNodes = tree.nodeCount();
+    result.treeResolveVisits = ts.nodeVisits;
+    result.treeResolvePrunes = ts.nodePrunes;
+    result.capPushes = cap_pushes;
+    result.conservationViolations = violations;
     return result;
 }
 
@@ -342,6 +434,8 @@ ClusterManager::replay(const PowerTrace &caps)
     psm_assert(!caps.values.empty());
     if (cfg.policy == ClusterPolicy::ConsolidationMigration)
         return replayConsolidation(caps);
+    if (cfg.topology == Topology::Tree)
+        return replayTree(caps);
     return replayEqual(caps);
 }
 

@@ -40,6 +40,7 @@
 #include "node_pool.hh"
 #include "perf/workloads.hh"
 #include "power_trace.hh"
+#include "power_tree.hh"
 #include "sim/server.hh"
 #include "util/units.hh"
 
@@ -56,6 +57,26 @@ enum class ClusterPolicy
 
 /** Printable policy name matching the paper's legend. */
 std::string clusterPolicyName(ClusterPolicy policy);
+
+/**
+ * How the cluster cap reaches the servers.
+ *
+ * Flat is the paper's private cloud: one global equal split per cap
+ * value (the seed behaviour, byte-for-byte).  Tree routes every cap
+ * through a PowerTree hierarchy — per-level capacities and
+ * oversubscription, epoch-cached subtree summaries, and grants
+ * pushed only to servers whose share actually changed.  A depth-1
+ * tree over uniform demands computes the identical cap/N share, so
+ * Flat is the degenerate case Tree generalizes.
+ */
+enum class Topology
+{
+    Flat,
+    Tree,
+};
+
+/** Printable topology name. */
+std::string topologyName(Topology topology);
 
 /** Cluster configuration. */
 struct ClusterConfig
@@ -83,6 +104,38 @@ struct ClusterConfig
      * `manager.faults`. */
     util::FaultPlanConfig faults;
 
+    /** Nodes per telemetry shard on the pool step path. */
+    int shardSize = 64;
+
+    /**
+     * Seed each node's CF corpus from the workload library.  Turn off
+     * (with `manager.oracleUtilities`) for scale benches that build
+     * thousands of managed nodes: an oracle control plane skips the
+     * per-node corpus profiling without changing the cap-split
+     * mechanics under test.
+     */
+    bool seedWorkloadCorpus = true;
+
+    // --- hierarchical topology (Topology::Tree only) -------------
+
+    Topology topology = Topology::Flat;
+    /** Tree levels below the root (1 = flat-equivalent). */
+    int treeDepth = 1;
+    /** Interior fanout; 0 derives ceil(servers^(1/depth)). */
+    int treeFanout = 0;
+    /** Interior oversubscription factor (>= 1; nvPAX's regime). */
+    double oversubscription = 1.0;
+    /** Per-server circuit capacity (<= 0: uncapped). */
+    Watts leafCapacity = 0.0;
+    /**
+     * Water-fill each level on measured per-server demand (last
+     * interval's average draw) instead of uniform weights.  Uniform
+     * weights reproduce the flat equal split exactly; demand-aware
+     * splitting is the FastCap-style fairness objective — servers
+     * drawing more get proportionally more of the cap.
+     */
+    bool demandAwareSplit = false;
+
     ClusterConfig();
 };
 
@@ -105,6 +158,17 @@ struct ClusterResult
     std::size_t allocatorCalls = 0;
     /** Wall-clock seconds those invocations cost, cluster-wide. */
     double allocatorSeconds = 0.0;
+
+    // --- hierarchical replays (Topology::Tree only) --------------
+
+    int treeDepth = 0;                 ///< 0 on flat replays
+    std::size_t treeNodes = 0;         ///< tree nodes incl. interior
+    std::uint64_t treeResolveVisits = 0; ///< splits recomputed
+    std::uint64_t treeResolvePrunes = 0; ///< subtrees skipped
+    /** E1 cap changes actually pushed to servers (grant changes). */
+    std::uint64_t capPushes = 0;
+    /** Per-interval conservation-check failures (must stay 0). */
+    std::uint64_t conservationViolations = 0;
 };
 
 /**
@@ -173,7 +237,12 @@ class ClusterManager
 
     void buildNodes();
     ClusterResult replayEqual(const PowerTrace &caps);
+    ClusterResult replayTree(const PowerTrace &caps);
     ClusterResult replayConsolidation(const PowerTrace &caps);
+
+    /** Fold perf/power/violation accounting common to the managed
+     * (equal and tree) replays into @p result. */
+    void accountManagedReplay(ClusterResult &result) const;
 
     /** Estimated uncapped draw of a server hosting the given apps. */
     Watts serverDemand(const std::vector<std::size_t> &apps) const;

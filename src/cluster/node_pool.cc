@@ -34,7 +34,10 @@ poolFaultPlan(const NodePoolConfig &config)
 NodePool::NodePool(const NodePoolConfig &config)
     // Stream 1 keeps pool-level rolls independent of the managers'
     // (stream 0) even when they share a seed base.
-    : fault_injector(poolFaultPlan(config), 1)
+    : fault_injector(poolFaultPlan(config), 1),
+      shard_size(config.shardSize >= 1
+                     ? static_cast<std::size_t>(config.shardSize)
+                     : 1)
 {
     psm_assert(config.servers >= 1);
     auto n = static_cast<std::size_t>(config.servers);
@@ -65,75 +68,97 @@ void
 NodePool::isolate(Node &node, core::Telemetry &shard,
                   trace::EventId fault_counter)
 {
-    ++node.crashStreak;
+    // Saturate the streak: its only uses are the <= 1 retry test and
+    // the clamped shift below, and an unbounded int would overflow
+    // (UB) on a node that crashes for years.
+    if (node.crashStreak < 1 << 20)
+        ++node.crashStreak;
     // First crash retries next interval; consecutive crashes back
-    // off exponentially (1, 2, 4, capped at 8 intervals out).
+    // off exponentially (1, 2, 4, capped at 8 intervals out).  The
+    // shift amount itself is clamped — `1 << (streak - 2)` alone is
+    // undefined once the streak passes the width of int.
     node.cooldown = node.crashStreak <= 1
                         ? 0
-                        : std::min(1 << (node.crashStreak - 2), 8);
+                        : 1 << std::min(node.crashStreak - 2, 3);
     shard.count(fault_counter);
     shard.count(trace::EventId::DegradedNodeIsolated);
+}
+
+void
+NodePool::stepNode(std::size_t ix, Tick duration,
+                   core::Telemetry &shard)
+{
+    Node &node = node_list[ix];
+    if (!node.manager)
+        return;
+    ++node.attempts;
+    if (node.cooldown > 0) {
+        // Still backing off after a crash: sit this interval out.
+        // The node's simulated clock simply does not advance —
+        // availability loss, not time travel.
+        --node.cooldown;
+        shard.count(trace::EventId::DegradedNodeSkipped);
+        return;
+    }
+    // The crash roll is keyed on per-node state only (the 1-based
+    // attempt counter; a crashed node's sim clock freezes, so
+    // clock-keyed rolls would repeat forever), so the schedule is
+    // identical at any thread count.  NodeCrash schedule windows are
+    // therefore expressed in attempt numbers, not sim ticks.
+    bool crash = fault_injector.inject(
+        util::FaultKind::NodeCrash, static_cast<Tick>(node.attempts),
+        (static_cast<std::uint64_t>(ix) << 32) ^ node.server->now(),
+        static_cast<std::int64_t>(ix));
+    if (crash) {
+        isolate(node, shard, trace::EventId::FaultNodeCrash);
+        return;
+    }
+    auto t0 = std::chrono::steady_clock::now();
+    try {
+        node.manager->run(duration);
+    } catch (const std::exception &e) {
+        // A node whose control plane throws must not take the whole
+        // cluster step down: isolate it like a crash.
+        warn("node %zu faulted (%s); isolating", ix, e.what());
+        isolate(node, shard, trace::EventId::FaultNodeException);
+        return;
+    }
+    if (node.crashStreak > 0) {
+        node.crashStreak = 0;
+        shard.count(trace::EventId::DegradedNodeRestarted);
+    }
+    double secs = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - t0)
+                      .count();
+    shard.observe(trace::EventId::ClusterNodeStep, toTicks(secs));
 }
 
 void
 NodePool::runAll(Tick duration, core::Telemetry *driver_tel)
 {
     auto interval_start = std::chrono::steady_clock::now();
-    core::TelemetryShards shards(node_list.size());
+    // Contiguous per-shard batches.  The partition depends only on
+    // shard_size — never on the thread count — and every publish on
+    // the step path is a commutative counter/timer aggregate, so the
+    // shard-order merge below is bit-identical to the serial loop at
+    // any PSM_THREADS and any shard size.  No lock is taken anywhere
+    // on the step path: a shard's nodes and its sink belong to
+    // exactly one worker for the duration of the interval.
+    std::size_t n = node_list.size();
+    std::size_t n_shards = (n + shard_size - 1) / shard_size;
+    core::TelemetryShards shards(n_shards);
     util::ThreadPool::global().parallelFor(
-        node_list.size(), [&](std::size_t s) {
-            Node &node = node_list[s];
-            if (!node.manager)
-                return;
-            core::Telemetry &shard = shards.shard(s);
-            ++node.attempts;
-            if (node.cooldown > 0) {
-                // Still backing off after a crash: sit this interval
-                // out.  The node's simulated clock simply does not
-                // advance — availability loss, not time travel.
-                --node.cooldown;
-                shard.count(trace::EventId::DegradedNodeSkipped);
-                return;
-            }
-            // The crash roll is keyed on per-node state only (the
-            // 1-based attempt counter; a crashed node's sim clock
-            // freezes, so clock-keyed rolls would repeat forever), so
-            // the schedule is identical at any thread count.
-            // NodeCrash schedule windows are therefore expressed in
-            // attempt numbers, not sim ticks.
-            bool crash = fault_injector.inject(
-                util::FaultKind::NodeCrash,
-                static_cast<Tick>(node.attempts),
-                (static_cast<std::uint64_t>(s) << 32) ^
-                    node.server->now(),
-                static_cast<std::int64_t>(s));
-            if (crash) {
-                isolate(node, shard, trace::EventId::FaultNodeCrash);
-                return;
-            }
-            auto t0 = std::chrono::steady_clock::now();
-            try {
-                node.manager->run(duration);
-            } catch (const std::exception &e) {
-                // A node whose control plane throws must not take the
-                // whole cluster step down: isolate it like a crash.
-                warn("node %zu faulted (%s); isolating", s, e.what());
-                isolate(node, shard,
-                        trace::EventId::FaultNodeException);
-                return;
-            }
-            if (node.crashStreak > 0) {
-                node.crashStreak = 0;
-                shard.count(trace::EventId::DegradedNodeRestarted);
-            }
-            double secs = std::chrono::duration<double>(
-                              std::chrono::steady_clock::now() - t0)
-                              .count();
-            shard.observe(trace::EventId::ClusterNodeStep, toTicks(secs));
+        n_shards, [&](std::size_t sh) {
+            core::Telemetry &shard = shards.shard(sh);
+            std::size_t lo = sh * shard_size;
+            std::size_t hi = std::min(n, lo + shard_size);
+            for (std::size_t s = lo; s < hi; ++s)
+                stepNode(s, duration, shard);
         });
     // Isolation/fault counters must survive even when the driver does
     // not collect telemetry: fall back to the pool's own bus (merged
-    // into aggregateTelemetry()).
+    // into aggregateTelemetry()).  Trace-backend shard merges are
+    // dense O(#events) array folds.
     core::Telemetry &sink = driver_tel ? *driver_tel : pool_tel;
     shards.mergeInto(sink);
     double secs = std::chrono::duration<double>(
@@ -166,6 +191,18 @@ NodePool::aggregateTelemetry() const
 std::uint64_t
 NodePool::aggregateCounter(const std::string &key) const
 {
+    // Registered names: resolve the string to its dense id once,
+    // then the whole fold is O(nodes) array reads.  Unregistered
+    // (overflow) names keep the historical per-node string-map walk.
+    trace::EventId id;
+    if (trace::lookupEvent(key, id)) {
+        std::uint64_t total = pool_tel.counter(id);
+        for (const Node &node : node_list) {
+            if (node.manager)
+                total += node.manager->telemetry().counter(id);
+        }
+        return total;
+    }
     std::uint64_t total = pool_tel.counter(key);
     for (const Node &node : node_list) {
         if (node.manager)
@@ -177,16 +214,29 @@ NodePool::aggregateCounter(const std::string &key) const
 core::TimerStat
 NodePool::aggregateTimer(const std::string &key) const
 {
-    core::TimerStat agg = pool_tel.timer(key);
-    for (const Node &node : node_list) {
-        if (!node.manager)
-            continue;
-        core::TimerStat t = node.manager->telemetry().timer(key);
-        agg.count += t.count;
-        agg.total += t.total;
-        agg.max = std::max(agg.max, t.max);
+    auto fold = [this](auto read) {
+        core::TimerStat agg = read(pool_tel);
+        for (const Node &node : node_list) {
+            if (!node.manager)
+                continue;
+            core::TimerStat t = read(node.manager->telemetry());
+            agg.count += t.count;
+            agg.total += t.total;
+            agg.max = std::max(agg.max, t.max);
+        }
+        return agg;
+    };
+    // Same dense-lookup rule as aggregateCounter().
+    trace::EventId id;
+    if (trace::lookupEvent(key, id) &&
+        trace::eventKind(id) == trace::EventKind::Timer) {
+        return fold([id](const core::Telemetry &tel) {
+            return tel.timer(id);
+        });
     }
-    return agg;
+    return fold([&key](const core::Telemetry &tel) {
+        return tel.timer(key);
+    });
 }
 
 void

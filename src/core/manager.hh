@@ -160,6 +160,19 @@ class ServerManager : private ControlLoop::Delegate
     void setCap(Watts cap);
 
     /**
+     * Change the server cap only when it differs from the last cap
+     * pushed through this entry point.  The hierarchical cluster
+     * layer (PowerTree) re-resolves grants on every event and pushes
+     * the result to every affected leaf; deduplicating here means an
+     * untouched sibling subtree costs its servers no E1 event, no
+     * allocator pass and no actuation — the per-server half of the
+     * O(depth) propagation argument.
+     *
+     * @return true when a cap change was actually enqueued.
+     */
+    bool setCapIfChanged(Watts cap);
+
+    /**
      * True while an app of this name occupies a live record — the
      * same test addApp() fatals on.  Callers admitting external
      * requests (the serving daemon) use this to pre-validate, since a
@@ -234,6 +247,8 @@ class ServerManager : private ControlLoop::Delegate
     std::size_t realloc_count = 0;
     Tick next_fault_check = 0;
     Tick esd_restore_at = maxTick; ///< pending ESD restoration time
+    Watts last_pushed_cap = 0.0;   ///< setCapIfChanged() dedup state
+    bool cap_ever_pushed = false;
 
     std::map<int, AppRecord> app_records;
 

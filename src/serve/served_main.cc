@@ -10,6 +10,7 @@
  *
  *   psm-served [--port N] [--nodes N] [--cap W] [--policy NAME]
  *              [--esd] [--queue N] [--batch N] [--seed N]
+ *              [--shard-size N]
  */
 
 #include <csignal>
@@ -68,7 +69,7 @@ usage()
         "app-aware|app-res-aware|app-res-esd-aware]\n"
         "                  [--esd] [--queue N] [--batch N] "
         "[--seed N]\n"
-        "                  [--capture FILE]\n");
+        "                  [--shard-size N] [--capture FILE]\n");
     std::exit(2);
 }
 
@@ -110,6 +111,8 @@ main(int argc, char **argv)
         else if (arg == "--seed")
             cfg.engine.seedBase =
                 static_cast<std::uint64_t>(std::atoll(next()));
+        else if (arg == "--shard-size")
+            cfg.engine.shardSize = std::atoi(next());
         else if (arg == "--capture")
             capture_path = next();
         else

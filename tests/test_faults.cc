@@ -420,6 +420,40 @@ TEST(Faults, ConsecutiveCrashesBackOffExponentially)
     EXPECT_EQ(pool[1].server->now(), toTicks(2.0)); // all four
 }
 
+TEST(Faults, CrashBackoffShiftClampedForHugeStreaks)
+{
+    cluster::NodePoolConfig pc;
+    pc.servers = 1;
+    pc.seedBase = 61;
+    pc.serverCap = 100.0;
+    pc.manager.oracleUtilities = true;
+    pc.seedWorkloadCorpus = false;
+    pc.faults.seed = 3;
+    // Node 0 crashes on every attempt, forever.
+    pc.faults.schedule.push_back(
+        FaultWindow{FaultKind::NodeCrash, 1, maxTick, 0});
+    cluster::NodePool pool(pc);
+    pool[0].manager->addApp(workload("stream"));
+
+    // A node that has been flapping for ages: the naive
+    // `1 << (streak - 2)` backoff is UB once the streak passes the
+    // width of int.  The shift amount must be clamped so the cooldown
+    // stays at the 8-interval cap.
+    pool[0].crashStreak = 1000;
+    core::Telemetry tel;
+    pool.runAll(toTicks(0.5), &tel);
+    EXPECT_EQ(tel.counter("fault.node_crash"), 1u);
+    EXPECT_EQ(pool[0].crashStreak, 1001);
+    EXPECT_EQ(pool[0].cooldown, 8);
+
+    // The streak itself saturates instead of eventually overflowing.
+    pool[0].crashStreak = 1 << 20;
+    pool[0].cooldown = 0;
+    pool.runAll(toTicks(0.5), &tel);
+    EXPECT_EQ(pool[0].crashStreak, 1 << 20);
+    EXPECT_EQ(pool[0].cooldown, 8);
+}
+
 TEST(Faults, AmbientConfiguredManagerRunsToCompletion)
 {
     // Under the psm_tests_ambient_faults ctest job PSM_FAULT_RATE is

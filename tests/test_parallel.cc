@@ -13,6 +13,7 @@
 #include <atomic>
 #include <cmath>
 #include <string>
+#include <tuple>
 #include <vector>
 
 #include "cf/estimator.hh"
@@ -323,6 +324,37 @@ scheduleAt(unsigned width)
     out.avgPower = sched.averageClusterPower();
     out.unfinished = sched.unfinished();
     return out;
+}
+
+TEST(DeterminismGuard, ShardSizeAndWidthDoNotAffectReplayResults)
+{
+    // The pool partitions its nodes into telemetry shards by
+    // shardSize alone (never thread count), and everything the step
+    // path publishes is a commutative aggregate — so any (shardSize,
+    // width) combination must replay bit-identically, including a
+    // ragged final shard.
+    auto replayWithShards = [](unsigned width, int shard_size) {
+        ScopedPoolWidth pool(width);
+        cluster::ClusterConfig cfg;
+        cfg.servers = 5;
+        cfg.shardSize = shard_size;
+        cluster::ClusterManager cm(cfg);
+        cm.populateDefault();
+        cluster::PowerTrace caps;
+        caps.interval = toTicks(5.0);
+        caps.values = {160.0, 140.0, 170.0};
+        cluster::ClusterResult res = cm.replay(caps);
+        core::Telemetry tel = cm.aggregateTelemetry();
+        // Sharding must not swallow per-node observations: still one
+        // per (node, interval).
+        EXPECT_EQ(tel.timer("cluster.node_step").count, 15u);
+        return std::tuple(res.totalEnergy, res.aggregatePerf,
+                          res.avgClusterPower);
+    };
+    auto base = replayWithShards(1, 1);
+    EXPECT_EQ(base, replayWithShards(1, 64));
+    EXPECT_EQ(base, replayWithShards(4, 1));
+    EXPECT_EQ(base, replayWithShards(4, 2)); // ragged final shard
 }
 
 TEST(DeterminismGuard, SchedulerParallelMatchesSerialBitForBit)

@@ -1,0 +1,389 @@
+/**
+ * @file
+ * Tests for the hierarchical power tree and the tree-topology cluster
+ * replay: split exactness, per-level cap conservation (including
+ * under oversubscription and E1-E4 storms), incremental-vs-fresh
+ * resolution equivalence, O(depth) pruning, and flat-vs-tree /
+ * serial-vs-sharded bit-identity.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "cluster/cluster_manager.hh"
+#include "cluster/power_tree.hh"
+#include "cluster/power_trace.hh"
+#include "util/random.hh"
+#include "util/thread_pool.hh"
+
+namespace psm::cluster
+{
+namespace
+{
+
+/** Restore the global pool width on scope exit. */
+struct ScopedPoolWidth
+{
+    explicit ScopedPoolWidth(unsigned width)
+    {
+        util::ThreadPool::configureGlobal(width);
+    }
+    ~ScopedPoolWidth() { util::ThreadPool::configureGlobal(0); }
+};
+
+TEST(PowerTree, StructureAndDerivedFanout)
+{
+    PowerTreeConfig cfg;
+    cfg.leaves = 10;
+    cfg.depth = 3;
+    PowerTree tree(cfg);
+    EXPECT_EQ(tree.leafCount(), 10u);
+    EXPECT_EQ(tree.depth(), 3);
+    // Smallest f with f^3 >= 10 is 3.
+    EXPECT_EQ(tree.fanout(), 3);
+
+    auto levels = tree.levelSummaries();
+    ASSERT_EQ(levels.size(), 4u);
+    EXPECT_EQ(levels[0].nodes, 1u);  // root
+    EXPECT_EQ(levels[3].nodes, 10u); // one leaf per server
+    // Uniform initial demand sums to the leaf count at the root.
+    EXPECT_DOUBLE_EQ(levels[0].demand, 10.0);
+}
+
+TEST(PowerTree, Depth1UniformSplitMatchesFlatShareExactly)
+{
+    PowerTreeConfig cfg;
+    cfg.leaves = 10;
+    cfg.depth = 1;
+    PowerTree tree(cfg);
+    tree.setRootCap(777.7);
+    EXPECT_EQ(tree.resolve(), 10u);
+    // Bit-identical to the flat Equal split, not just close: the
+    // uniform fast path is one division by the child count.
+    Watts flat = 777.7 / static_cast<double>(10);
+    for (std::size_t s = 0; s < tree.leafCount(); ++s)
+        EXPECT_EQ(tree.leafGrant(s), flat);
+    EXPECT_TRUE(tree.checkConservation());
+}
+
+TEST(PowerTree, DeepUniformSplitEqualizesAndConserves)
+{
+    PowerTreeConfig cfg;
+    cfg.leaves = 16;
+    cfg.depth = 2;
+    cfg.fanout = 4;
+    PowerTree tree(cfg);
+    tree.setRootCap(1600.0);
+    tree.resolve();
+    for (std::size_t s = 0; s < tree.leafCount(); ++s)
+        EXPECT_DOUBLE_EQ(tree.leafGrant(s), 100.0);
+    std::string why;
+    EXPECT_TRUE(tree.checkConservation(1e-9, &why)) << why;
+}
+
+TEST(PowerTree, DemandProportionalSplit)
+{
+    PowerTreeConfig cfg;
+    cfg.leaves = 4;
+    cfg.depth = 1;
+    PowerTree tree(cfg);
+    tree.setLeafDemand(0, 1.0);
+    tree.setLeafDemand(1, 1.0);
+    tree.setLeafDemand(2, 2.0);
+    tree.setLeafDemand(3, 4.0);
+    tree.setRootCap(800.0);
+    tree.resolve();
+    EXPECT_DOUBLE_EQ(tree.leafGrant(0), 100.0);
+    EXPECT_DOUBLE_EQ(tree.leafGrant(1), 100.0);
+    EXPECT_DOUBLE_EQ(tree.leafGrant(2), 200.0);
+    EXPECT_DOUBLE_EQ(tree.leafGrant(3), 400.0);
+    EXPECT_TRUE(tree.checkConservation());
+}
+
+TEST(PowerTree, CapClampWaterFillsResidualToSiblings)
+{
+    PowerTreeConfig cfg;
+    cfg.leaves = 3;
+    cfg.depth = 1;
+    PowerTree tree(cfg);
+    // Equal demand, but leaf 0's circuit only carries 50 W.
+    tree.setLeafCap(0, 50.0);
+    tree.setRootCap(600.0);
+    tree.resolve();
+    EXPECT_DOUBLE_EQ(tree.leafGrant(0), 50.0);
+    // The residual 550 W water-fills equally over the other two.
+    EXPECT_DOUBLE_EQ(tree.leafGrant(1), 275.0);
+    EXPECT_DOUBLE_EQ(tree.leafGrant(2), 275.0);
+    EXPECT_TRUE(tree.checkConservation());
+}
+
+TEST(PowerTree, OversubscriptionLimitsInteriorCapacity)
+{
+    PowerTreeConfig cfg;
+    cfg.leaves = 8;
+    cfg.depth = 2;
+    cfg.fanout = 4;
+    cfg.leafCap = 100.0;
+    cfg.oversubscription = 1.25;
+    PowerTree tree(cfg);
+    // Root capacity: two PDUs of (4 * 100) / 1.25 = 320 W each,
+    // themselves oversubscribed at the root: 640 / 1.25 = 512 W.
+    tree.setRootCap(10000.0);
+    tree.resolve();
+    Watts total = 0.0;
+    for (std::size_t s = 0; s < tree.leafCount(); ++s) {
+        EXPECT_LE(tree.leafGrant(s), 100.0 + 1e-9);
+        total += tree.leafGrant(s);
+    }
+    EXPECT_NEAR(total, 512.0, 1e-6);
+    std::string why;
+    EXPECT_TRUE(tree.checkConservation(1e-6, &why)) << why;
+}
+
+/** Apply the same (demand, cap) state to a fresh tree and compare
+ * every grant bit-for-bit against the incrementally maintained one. */
+void
+expectMatchesFresh(const PowerTree &inc, const PowerTreeConfig &cfg,
+                   const std::vector<double> &demands, Watts root_cap)
+{
+    PowerTree fresh(cfg);
+    for (std::size_t s = 0; s < demands.size(); ++s)
+        fresh.setLeafDemand(s, demands[s]);
+    fresh.setRootCap(root_cap);
+    fresh.resolve();
+    for (std::size_t s = 0; s < demands.size(); ++s)
+        ASSERT_EQ(inc.leafGrant(s), fresh.leafGrant(s))
+            << "leaf " << s << " diverged from fresh resolution";
+}
+
+TEST(PowerTree, IncrementalResolveMatchesFreshTree)
+{
+    PowerTreeConfig cfg;
+    cfg.leaves = 27;
+    cfg.depth = 3;
+    cfg.fanout = 3;
+    PowerTree tree(cfg);
+    std::vector<double> demands(27, 1.0);
+    Watts cap = 1000.0;
+    tree.setRootCap(cap);
+    tree.resolve();
+
+    Rng rng(17);
+    for (int ev = 0; ev < 60; ++ev) {
+        if (ev % 3 == 0) {
+            cap = 400.0 + 1200.0 * rng.uniform();
+            tree.setRootCap(cap);
+        } else {
+            auto leaf = static_cast<std::size_t>(
+                rng.uniformInt(0, 26));
+            demands[leaf] = 0.5 + 4.0 * rng.uniform();
+            tree.setLeafDemand(leaf, demands[leaf]);
+        }
+        tree.resolve();
+        expectMatchesFresh(tree, cfg, demands, cap);
+        std::string why;
+        ASSERT_TRUE(tree.checkConservation(1e-6, &why)) << why;
+    }
+}
+
+TEST(PowerTree, SaturatedCapsLocalizeEventsToThePath)
+{
+    // Locality comes from binding capacities absorbing changes: a
+    // level pinned at its capacity hands out the same child budgets
+    // no matter how the rest of the tree wobbles, so its untouched
+    // subtrees prune.  Build the oversubscribed regime a hierarchy
+    // exists for — every level saturated — and check that leaf
+    // events cost O(depth) visits in the 341-node tree.
+    PowerTreeConfig cfg;
+    cfg.leaves = 256;
+    cfg.depth = 4;
+    cfg.fanout = 4;
+    cfg.leafCap = 100.0;
+    PowerTree tree(cfg);
+    for (std::size_t s = 0; s < 256; ++s)
+        tree.setLeafDemand(s, 1.0 + static_cast<double>(s % 7));
+    tree.setRootCap(1.0e9); // far above capacity: every level pins
+    tree.resolve();         // full pass warms every cache
+
+    // A demand change under saturated caps is fully absorbed: every
+    // budget stays pinned, so only the leaf -> root path revisits and
+    // no grant moves.
+    std::uint64_t visits0 = tree.stats().nodeVisits;
+    tree.setLeafDemand(100, 25.0);
+    EXPECT_EQ(tree.resolve(), 0u);
+    EXPECT_LE(tree.stats().nodeVisits - visits0,
+              static_cast<std::uint64_t>(cfg.depth + 1));
+
+    // Re-provisioning one rack circuit re-resolves the path (its
+    // siblings prune at every level): O(depth * fanout) work, two
+    // orders below the tree size, and exactly one grant changes.
+    visits0 = tree.stats().nodeVisits;
+    std::uint64_t prunes0 = tree.stats().nodePrunes;
+    tree.setLeafCap(100, 80.0);
+    EXPECT_EQ(tree.resolve(), 1u);
+    EXPECT_EQ(tree.changedLeaves().front(), 100u);
+    EXPECT_DOUBLE_EQ(tree.leafGrant(100), 80.0);
+    std::uint64_t visits = tree.stats().nodeVisits - visits0;
+    EXPECT_LE(visits, static_cast<std::uint64_t>(cfg.depth + 1));
+    EXPECT_GE(tree.stats().nodePrunes - prunes0,
+              static_cast<std::uint64_t>(cfg.depth * (cfg.fanout - 1)));
+    std::string why;
+    EXPECT_TRUE(tree.checkConservation(1e-6, &why)) << why;
+}
+
+TEST(PowerTree, UnchangedResolvePrunesAtTheRoot)
+{
+    PowerTreeConfig cfg;
+    cfg.leaves = 64;
+    cfg.depth = 3;
+    cfg.fanout = 4;
+    PowerTree tree(cfg);
+    tree.setRootCap(1000.0);
+    tree.resolve();
+    std::uint64_t visits_before = tree.stats().nodeVisits;
+    std::uint64_t prunes_before = tree.stats().nodePrunes;
+    EXPECT_EQ(tree.resolve(), 0u); // nothing changed
+    EXPECT_EQ(tree.stats().nodeVisits, visits_before);
+    EXPECT_EQ(tree.stats().nodePrunes, prunes_before + 1);
+}
+
+TEST(PowerTree, ChangedLeavesReportsExactlyTheChangedGrants)
+{
+    PowerTreeConfig cfg;
+    cfg.leaves = 9;
+    cfg.depth = 2;
+    cfg.fanout = 3;
+    PowerTree tree(cfg);
+    tree.setRootCap(900.0);
+    EXPECT_EQ(tree.resolve(), 9u); // first resolve changes all
+    // Doubling one leaf's demand re-splits its PDU (3 leaves) and
+    // the root (changing the other PDUs' budgets and so possibly
+    // their leaves); all reported leaves must actually differ.
+    std::vector<Watts> before(9);
+    for (std::size_t s = 0; s < 9; ++s)
+        before[s] = tree.leafGrant(s);
+    tree.setLeafDemand(4, 2.0);
+    tree.resolve();
+    for (std::size_t s = 0; s < 9; ++s) {
+        bool reported =
+            std::find(tree.changedLeaves().begin(),
+                      tree.changedLeaves().end(),
+                      s) != tree.changedLeaves().end();
+        EXPECT_EQ(reported, tree.leafGrant(s) != before[s])
+            << "leaf " << s;
+    }
+}
+
+// --- cluster replays over the tree ---------------------------------
+
+/** A short cap trace with no consecutive duplicates, so the flat and
+ * tree paths enqueue the same E1 stream. */
+PowerTrace
+shortCaps()
+{
+    PowerTrace caps;
+    caps.interval = toTicks(5.0);
+    caps.values = {400.0, 360.0, 430.0, 390.0};
+    return caps;
+}
+
+TEST(ClusterTree, Depth1TreeReplayMatchesFlatReplayBitForBit)
+{
+    auto replayWith = [](Topology topology) {
+        ClusterConfig cfg;
+        cfg.servers = 4;
+        cfg.topology = topology;
+        cfg.treeDepth = 1;
+        ClusterManager cm(cfg);
+        cm.populateDefault();
+        return cm.replay(shortCaps());
+    };
+    ClusterResult flat = replayWith(Topology::Flat);
+    ClusterResult tree = replayWith(Topology::Tree);
+    // The depth-1 uniform tree computes the identical cap/N share,
+    // so the replays are the same simulation: bit-equal energy and
+    // throughput, not merely close.
+    EXPECT_EQ(flat.totalEnergy, tree.totalEnergy);
+    EXPECT_EQ(flat.aggregatePerf, tree.aggregatePerf);
+    EXPECT_EQ(flat.capViolationFraction, tree.capViolationFraction);
+    EXPECT_EQ(flat.allocatorCalls, tree.allocatorCalls);
+    EXPECT_EQ(tree.conservationViolations, 0u);
+    EXPECT_EQ(tree.treeDepth, 1);
+}
+
+TEST(ClusterTree, DeepReplayConservesCapsAtEveryLevel)
+{
+    ClusterConfig cfg;
+    cfg.servers = 8;
+    cfg.topology = Topology::Tree;
+    cfg.treeDepth = 3;
+    cfg.treeFanout = 2;
+    cfg.oversubscription = 1.1;
+    cfg.leafCapacity = 150.0;
+    cfg.demandAwareSplit = true;
+    ClusterManager cm(cfg);
+    cm.populateDefault();
+    ClusterResult res = cm.replay(shortCaps());
+    EXPECT_EQ(res.conservationViolations, 0u);
+    EXPECT_EQ(res.treeDepth, 3);
+    EXPECT_GT(res.treeNodes, 8u); // interior PDU/rack nodes exist
+    EXPECT_GT(res.capPushes, 0u);
+    EXPECT_GT(res.aggregatePerf, 0.0);
+}
+
+TEST(ClusterTree, EventStormKeepsConservationAndCompletes)
+{
+    // E1 storms come from the cap trace; E2/E3/E4 churn comes from
+    // ambient faults (app kills force departures and replans, node
+    // crashes freeze leaves).  The tree must hold its per-level
+    // invariant through all of it.
+    ClusterConfig cfg;
+    cfg.servers = 8;
+    cfg.topology = Topology::Tree;
+    cfg.treeDepth = 2;
+    cfg.demandAwareSplit = true;
+    cfg.oversubscription = 1.05;
+    cfg.leafCapacity = 140.0;
+    cfg.manager.faults.setAmbientRate(0.05);
+    cfg.faults.setAmbientRate(0.05);
+    ClusterManager cm(cfg);
+    cm.populateDefault();
+
+    PowerTrace caps;
+    caps.interval = toTicks(2.0);
+    Rng rng(5);
+    for (int i = 0; i < 12; ++i)
+        caps.values.push_back(300.0 + 400.0 * rng.uniform());
+    ClusterResult res = cm.replay(caps);
+    EXPECT_EQ(res.conservationViolations, 0u);
+    EXPECT_GT(res.totalEnergy, 0.0);
+}
+
+TEST(ClusterTree, ShardedStepIsBitIdenticalAcrossShardSizeAndWidth)
+{
+    auto replayWith = [](int shard_size, unsigned width) {
+        ScopedPoolWidth pool(width);
+        ClusterConfig cfg;
+        cfg.servers = 6;
+        cfg.topology = Topology::Tree;
+        cfg.treeDepth = 2;
+        cfg.shardSize = shard_size;
+        cfg.faults.setAmbientRate(0.05); // crashes must replay too
+        ClusterManager cm(cfg);
+        cm.populateDefault();
+        ClusterResult res = cm.replay(shortCaps());
+        core::Telemetry tel = cm.aggregateTelemetry();
+        return std::tuple(res.totalEnergy, res.aggregatePerf,
+                          tel.counter("fault.node_crash"),
+                          tel.counter("degraded.node_isolated"));
+    };
+    auto base = replayWith(1, 1);
+    EXPECT_EQ(base, replayWith(64, 1));
+    EXPECT_EQ(base, replayWith(1, 4));
+    EXPECT_EQ(base, replayWith(64, 4));
+    EXPECT_EQ(base, replayWith(3, 4)); // ragged final shard
+}
+
+} // namespace
+} // namespace psm::cluster
