@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "core/policy_registry.hh"
 #include "perf/perf_model.hh"
 #include "util/logging.hh"
 
@@ -115,9 +116,20 @@ ClusterManager::buildNodes()
     NodePoolConfig pc;
     pc.servers = cfg.servers;
     pc.manager = cfg.manager;
-    pc.manager.policy = cfg.policy == ClusterPolicy::EqualRapl
-                            ? core::PolicyKind::UtilUnaware
-                            : core::PolicyKind::AppResEsdAware;
+    if (cfg.policy == ClusterPolicy::EqualRapl) {
+        pc.manager.policy = core::PolicyKind::UtilUnaware;
+    } else {
+        const core::PolicyInfo *info =
+            core::PolicyRegistry::instance().findName(
+                cfg.managedPolicy);
+        if (!info) {
+            fatal("unknown managed policy '%s' (expected one of %s)",
+                  cfg.managedPolicy.c_str(),
+                  core::PolicyRegistry::instance().cliNames()
+                      .c_str());
+        }
+        pc.manager.policy = info->kind;
+    }
     pc.seedBase = cfg.seed;
     pc.faults = cfg.faults;
     pc.shardSize = cfg.shardSize;

@@ -85,6 +85,14 @@ struct ClusterConfig
     int servers = 10;
     /** Per-server management template (policy field is overridden). */
     core::ManagerConfig manager;
+    /**
+     * CLI name (PolicyRegistry) of the per-server policy the managed
+     * strategies run.  Equal(RAPL) always pins util-unaware — that IS
+     * the strategy; Equal(Ours) and Consolidation+Migration resolve
+     * this name, so the arena can race rival per-server allocators
+     * under the same cluster-level cap replay.
+     */
+    std::string managedPolicy = "app-res-esd-aware";
     /** Battery attached per server for Equal(Ours). */
     esd::BatteryConfig esd;
     /**

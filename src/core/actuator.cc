@@ -137,10 +137,11 @@ Actuator::executeSpatialUtility(const std::vector<int> &ids,
                                 PolicyKind policy)
 {
     psm_assert(ids.size() == alloc.apps.size());
-    // App-Aware uses utilities only to *split* the budget; within an
-    // application it enforces the grant with the default hardware
-    // knob (RAPL), not per-resource apportioning.
-    bool rapl_enforced = policy == PolicyKind::AppAware;
+    // RAPL-enforced policies (App-Aware) use utilities only to
+    // *split* the budget; within an application they enforce the
+    // grant with the default hardware knob (RAPL), not per-resource
+    // apportioning.
+    bool rapl_enforced = policyRaplEnforced(policy);
     std::vector<Directive> directives;
     for (std::size_t i = 0; i < ids.size(); ++i) {
         psm_assert(alloc.apps[i].scheduled());
@@ -235,7 +236,7 @@ Actuator::executeTemporalUtility(const TemporalPlan &plan,
             tel->count(trace::EventId::ActuatorSuspendedUnschedulable);
     }
 
-    bool rapl_enforced = policy == PolicyKind::AppAware;
+    bool rapl_enforced = policyRaplEnforced(policy);
     std::vector<Directive> directives;
     std::vector<double> shares;
     for (const auto &slot : plan.slots) {

@@ -134,6 +134,17 @@ PlanSelector::selectServerResAware(const PlanInputs &in) const
     return d;
 }
 
+SpatialPlanner &
+PlanSelector::plannerFor(const PolicyInfo &info) const
+{
+    auto it = planners.find(info.kind);
+    if (it == planners.end()) {
+        it = planners.emplace(info.kind, info.makePlanner()).first;
+        psm_assert(it->second != nullptr);
+    }
+    return *it->second;
+}
+
 PlanDecision
 PlanSelector::selectUtilityAware(const PlanInputs &in) const
 {
@@ -164,18 +175,31 @@ PlanSelector::selectUtilityAware(const PlanInputs &in) const
     }
 
     // The planning allocator (temporal/ESD plans) keeps the
-    // configured reservation behaviour; the spatial DP toggles it per
-    // policy: App-Aware's RAPL enforcement can clock-modulate below
-    // any frontier point, so its curve minima are not hard minima.
+    // configured reservation behaviour; the spatial optimization is
+    // the policy's own: registry policies with a planner factory
+    // (FastCap, CuttleSys, out-of-tree rivals) replace the DP
+    // entirely, the rest run the built-in DP with reservation
+    // toggled per policy — RAPL-enforced grants can clock-modulate
+    // below any frontier point, so their curve minima are not hard
+    // minima.
+    const PolicyInfo &info =
+        PolicyRegistry::instance().infoFor(in.policy);
     PowerAllocator planner(alloc_cfg);
     planner.setTelemetry(tel);
-    AllocatorConfig dp_cfg = alloc_cfg;
-    dp_cfg.reserveMinima = policyResAware(in.policy);
-    PowerAllocator dp(dp_cfg);
-    dp.setTelemetry(tel);
 
-    Allocation alloc =
-        dp.allocate(in.curves, usable, &dp_cache, in.surfaceEpoch);
+    Allocation alloc;
+    if (info.makePlanner) {
+        alloc = plannerFor(info).plan(
+            in.curves, usable,
+            SpatialPlanner::Context{plat, alloc_cfg, tel});
+    } else {
+        AllocatorConfig dp_cfg = alloc_cfg;
+        dp_cfg.reserveMinima = info.caps.resAware;
+        PowerAllocator dp(dp_cfg);
+        dp.setTelemetry(tel);
+        alloc = dp.allocate(in.curves, usable, &dp_cache,
+                            in.surfaceEpoch);
+    }
     if (alloc.allScheduled()) {
         d.choice = PlanChoice::SpatialUtility;
         d.objective = alloc.objective;
@@ -184,14 +208,13 @@ PlanSelector::selectUtilityAware(const PlanInputs &in) const
         return d;
     }
 
-    // App-Aware's frequency-only utility view bottoms out at f_min,
-    // but its RAPL enforcement can clock-modulate below it: when the
+    // A RAPL-enforced policy's utility view bottoms out at f_min,
+    // but its enforcement can clock-modulate below it: when the
     // curves claim spatial infeasibility yet an equal share clears
     // the hardware floor, fall back to the fair RAPL split rather
     // than duty-cycling.
     std::size_t n = in.curves.size();
-    if (in.policy == PolicyKind::AppAware &&
-        in.calibratingCount == 0 &&
+    if (info.caps.raplEnforced && in.calibratingCount == 0 &&
         usable / static_cast<double>(n) >= floor_power) {
         PlanDecision fair = fairSplit(usable, n, false);
         fair.usableBudget = usable;

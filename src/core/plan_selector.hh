@@ -15,12 +15,15 @@
 #define PSM_CORE_PLAN_SELECTOR_HH
 
 #include <cstdint>
+#include <map>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "esd/battery.hh"
 #include "policy.hh"
+#include "policy_registry.hh"
 #include "power/platform.hh"
 #include "power_allocator.hh"
 #include "telemetry.hh"
@@ -130,11 +133,19 @@ class PlanSelector
     /** Cross-event DP reuse for the spatial allocation, keyed on
      * PlanInputs::surfaceEpoch. */
     mutable AllocatorCache dp_cache;
+    /** Registry-made planners of policies that replace the built-in
+     * DP, constructed on first use and kept across events so they
+     * can warm-start. */
+    mutable std::map<PolicyKind, std::unique_ptr<SpatialPlanner>>
+        planners;
 
     PlanDecision fairSplit(Watts budget, std::size_t n,
                            bool demand_following) const;
     PlanDecision selectServerResAware(const PlanInputs &in) const;
     PlanDecision selectUtilityAware(const PlanInputs &in) const;
+
+    /** The cached planner instance for a registered custom policy. */
+    SpatialPlanner &plannerFor(const PolicyInfo &info) const;
 };
 
 } // namespace psm::core

@@ -1,50 +1,44 @@
 #include "policy.hh"
 
+#include "policy_registry.hh"
 #include "power/core_power.hh"
 #include "util/logging.hh"
 
 namespace psm::core
 {
 
+// The name/capability switch tables that used to live here moved into
+// the PolicyRegistry; these wrappers keep the old call sites (and the
+// old invalid-kind panic semantics) intact.
+
 std::string
 policyName(PolicyKind kind)
 {
-    switch (kind) {
-      case PolicyKind::UtilUnaware:
-        return "Util-Unaware";
-      case PolicyKind::ServerResAware:
-        return "Server+Res-Aware";
-      case PolicyKind::AppAware:
-        return "App-Aware";
-      case PolicyKind::AppResAware:
-        return "App+Res-Aware";
-      case PolicyKind::AppResEsdAware:
-        return "App+Res+ESD-Aware";
-      default:
-        panic("invalid PolicyKind %d", static_cast<int>(kind));
-    }
+    return PolicyRegistry::instance().infoFor(kind).name;
 }
 
 bool
 policyAppAware(PolicyKind kind)
 {
-    return kind == PolicyKind::AppAware ||
-           kind == PolicyKind::AppResAware ||
-           kind == PolicyKind::AppResEsdAware;
+    return PolicyRegistry::instance().infoFor(kind).caps.appAware;
 }
 
 bool
 policyResAware(PolicyKind kind)
 {
-    return kind == PolicyKind::ServerResAware ||
-           kind == PolicyKind::AppResAware ||
-           kind == PolicyKind::AppResEsdAware;
+    return PolicyRegistry::instance().infoFor(kind).caps.resAware;
 }
 
 bool
 policyUsesEsd(PolicyKind kind)
 {
-    return kind == PolicyKind::AppResEsdAware;
+    return PolicyRegistry::instance().infoFor(kind).caps.usesEsd;
+}
+
+bool
+policyRaplEnforced(PolicyKind kind)
+{
+    return PolicyRegistry::instance().infoFor(kind).caps.raplEnforced;
 }
 
 Watts

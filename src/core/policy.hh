@@ -17,7 +17,11 @@ namespace psm::core
 {
 
 /**
- * The five policies.
+ * The policies: the paper's five schemes plus the rival allocators
+ * of the policy arena.  The enum value doubles as the capture-file
+ * wire encoding, so values are append-only; everything else about a
+ * policy (names, capability flags, custom planners) lives in the
+ * PolicyRegistry.
  */
 enum class PolicyKind
 {
@@ -48,6 +52,20 @@ enum class PolicyKind
      * too stringent for spatial coordination.
      */
     AppResEsdAware,
+    /**
+     * FastCap-style fair capping (Liu et al.): max-min fairness over
+     * normalized performance with joint core+memory knob choice — a
+     * uniform throttle level water-filled over the frontier ladder,
+     * leftover spent worst-first.
+     */
+    FastCapFair,
+    /**
+     * CuttleSys-style data-driven search (Kulkarni et al.): the CF
+     * utility estimates seed a greedy local search (upgrades and
+     * downgrade/upgrade swaps) over the joint frontier-point space
+     * instead of solving the DP exactly.
+     */
+    CuttleSysSearch,
 };
 
 /** Printable policy name, matching the paper's figure legends. */
@@ -61,6 +79,13 @@ bool policyResAware(PolicyKind kind);
 
 /** True when the policy exploits an attached ESD. */
 bool policyUsesEsd(PolicyKind kind);
+
+/**
+ * True when per-application grants are enforced with RAPL clock
+ * modulation (which can throttle below any frontier point) instead of
+ * per-resource knob settings.
+ */
+bool policyRaplEnforced(PolicyKind kind);
 
 /**
  * The platform-derived lower bound on a single application's power

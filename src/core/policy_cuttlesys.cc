@@ -1,0 +1,223 @@
+#include "policy_cuttlesys.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace psm::core
+{
+
+namespace
+{
+
+/** Search-effort bound: moves per plan() call.  Generous — the move
+ * space is tiny (k apps, tens of frontier points) and each move must
+ * strictly improve the objective, but a hard ceiling keeps a
+ * pathological frontier from ever stalling the control loop. */
+constexpr std::size_t kMaxMoves = 512;
+
+/** Total power of a configuration (one frontier index per app). */
+Watts
+configPower(const std::vector<const UtilityCurve *> &curves,
+            const std::vector<std::size_t> &choice)
+{
+    Watts total = 0.0;
+    for (std::size_t i = 0; i < curves.size(); ++i)
+        total += curves[i]->points()[choice[i]].power;
+    return total;
+}
+
+/**
+ * Estimated efficiency used to seed the search: the best
+ * perf-per-watt over the frontier (its knee), which is what the CF
+ * estimates make cheap to read off.
+ */
+double
+kneeEfficiency(const UtilityCurve &curve)
+{
+    double best = 0.0;
+    for (const UtilityPoint &p : curve.points()) {
+        if (p.power > 0.0)
+            best = std::max(best, p.perfNorm / p.power);
+    }
+    return best;
+}
+
+} // namespace
+
+Allocation
+CuttleSysPlanner::plan(const std::vector<const UtilityCurve *> &curves,
+                       Watts usable, const Context &ctx)
+{
+    Allocation out;
+    out.dynamicBudget = usable;
+    const std::size_t k = curves.size();
+    if (k == 0)
+        return out;
+    if (ctx.telemetry)
+        ctx.telemetry->count(trace::EventId::PolicyCuttlesysPlans);
+
+    // Floor feasibility: below the sum of cheapest points no full
+    // configuration exists; hand back a best-effort equal split whose
+    // unscheduled apps send the selector down the fallback ladder.
+    Watts floor_total = 0.0;
+    for (const UtilityCurve *c : curves)
+        floor_total += c->minPower();
+    if (floor_total > usable + 1e-9) {
+        Watts share = usable / static_cast<double>(k);
+        for (const UtilityCurve *c : curves) {
+            AppAllocation a;
+            a.app = c->name();
+            a.budget = share;
+            a.point = c->bestWithin(share);
+            if (a.point) {
+                a.expectedPerf = a.point->perfNorm;
+                out.used += a.point->power;
+                out.objective += a.expectedPerf;
+            }
+            out.apps.push_back(std::move(a));
+        }
+        return out;
+    }
+
+    // --- Seed -----------------------------------------------------
+    // Warm start when the application set matches the previous
+    // decision; otherwise CF-efficiency-proportional shares.
+    std::vector<std::size_t> choice(k, 0);
+    bool warm = last_choice.size() == k;
+    if (warm) {
+        for (std::size_t i = 0; i < k && warm; ++i) {
+            auto it = last_choice.find(curves[i]->name());
+            if (it == last_choice.end() ||
+                it->second >= curves[i]->points().size())
+                warm = false;
+            else
+                choice[i] = it->second;
+        }
+    }
+    if (!warm) {
+        double eff_sum = 0.0;
+        std::vector<double> eff(k, 0.0);
+        for (std::size_t i = 0; i < k; ++i) {
+            eff[i] = kneeEfficiency(*curves[i]);
+            eff_sum += eff[i];
+        }
+        for (std::size_t i = 0; i < k; ++i) {
+            Watts share =
+                eff_sum > 0.0
+                    ? usable * eff[i] / eff_sum
+                    : usable / static_cast<double>(k);
+            share = std::max(share, curves[i]->minPower());
+            const auto &pts = curves[i]->points();
+            std::size_t ix = 0;
+            while (ix + 1 < pts.size() &&
+                   pts[ix + 1].power <= share + 1e-9)
+                ++ix;
+            choice[i] = ix;
+        }
+    } else if (ctx.telemetry) {
+        ctx.telemetry->count(trace::EventId::PolicyCuttlesysWarmStarts);
+    }
+
+    // --- Repair ---------------------------------------------------
+    // The seed can exceed the budget (rounding up to minima, a warm
+    // start against a shrunk budget): walk configurations down,
+    // cheapest utility loss per watt freed first, until it fits.
+    // Bounded by the total frontier size; the all-minima floor fits.
+    Watts total = configPower(curves, choice);
+    while (total > usable + 1e-9) {
+        std::size_t pick = k;
+        double pick_score = 0.0;
+        for (std::size_t i = 0; i < k; ++i) {
+            if (choice[i] == 0)
+                continue;
+            const auto &pts = curves[i]->points();
+            Watts freed =
+                pts[choice[i]].power - pts[choice[i] - 1].power;
+            double loss =
+                pts[choice[i]].perfNorm - pts[choice[i] - 1].perfNorm;
+            double score = loss / freed; // both > 0 on the frontier
+            if (pick == k || score < pick_score) {
+                pick = i;
+                pick_score = score;
+            }
+        }
+        psm_assert(pick < k);
+        const auto &pts = curves[pick]->points();
+        total -= pts[choice[pick]].power - pts[choice[pick] - 1].power;
+        --choice[pick];
+    }
+
+    // --- Local search ---------------------------------------------
+    // Greedy hill climbing: the best strictly-improving move among
+    // single-app upgrades (within slack) and downgrade/upgrade swaps.
+    for (std::size_t moves = 0; moves < kMaxMoves; ++moves) {
+        Watts slack = usable - total;
+        double best_gain = 1e-12;
+        std::size_t up = k, down = k; // down == k: pure upgrade
+
+        for (std::size_t i = 0; i < k; ++i) {
+            const auto &pi = curves[i]->points();
+            if (choice[i] + 1 >= pi.size())
+                continue;
+            Watts need = pi[choice[i] + 1].power - pi[choice[i]].power;
+            double gain =
+                pi[choice[i] + 1].perfNorm - pi[choice[i]].perfNorm;
+            if (need <= slack + 1e-9 && gain > best_gain) {
+                best_gain = gain;
+                up = i;
+                down = k;
+            }
+            // Swap: fund the upgrade by stepping one other app down.
+            for (std::size_t j = 0; j < k; ++j) {
+                if (j == i || choice[j] == 0)
+                    continue;
+                const auto &pj = curves[j]->points();
+                Watts freed =
+                    pj[choice[j]].power - pj[choice[j] - 1].power;
+                if (need > slack + freed + 1e-9)
+                    continue;
+                double net = gain - (pj[choice[j]].perfNorm -
+                                     pj[choice[j] - 1].perfNorm);
+                if (net > best_gain) {
+                    best_gain = net;
+                    up = i;
+                    down = j;
+                }
+            }
+        }
+        if (up == k)
+            break;
+        if (down < k) {
+            const auto &pj = curves[down]->points();
+            total -= pj[choice[down]].power -
+                     pj[choice[down] - 1].power;
+            --choice[down];
+        }
+        const auto &pi = curves[up]->points();
+        total += pi[choice[up] + 1].power - pi[choice[up]].power;
+        ++choice[up];
+        if (ctx.telemetry)
+            ctx.telemetry->count(trace::EventId::PolicyCuttlesysMoves);
+    }
+    psm_assert(total <= usable + 1e-6);
+
+    last_choice.clear();
+    for (std::size_t i = 0; i < k; ++i)
+        last_choice.emplace(curves[i]->name(), choice[i]);
+
+    for (std::size_t i = 0; i < k; ++i) {
+        const UtilityPoint &p = curves[i]->points()[choice[i]];
+        AppAllocation a;
+        a.app = curves[i]->name();
+        a.budget = p.power;
+        a.point = p;
+        a.expectedPerf = p.perfNorm;
+        out.used += p.power;
+        out.objective += p.perfNorm;
+        out.apps.push_back(std::move(a));
+    }
+    return out;
+}
+
+} // namespace psm::core

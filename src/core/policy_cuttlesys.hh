@@ -1,0 +1,61 @@
+/**
+ * @file
+ * CuttleSys-style data-driven search (Kulkarni et al., "CuttleSys:
+ * Data-Driven Resource Management for Interactive Services on
+ * Reconfigurable Multicores"): a rival allocator for the policy
+ * arena.
+ *
+ * CuttleSys estimates each job's performance across resource
+ * configurations with collaborative filtering, then runs a local
+ * search over the joint configuration space instead of solving the
+ * assignment exactly.  Mapped onto this framework, the CF estimates
+ * are the learnt utility frontiers (psm::cf already produces them via
+ * the LearningPipeline), a "configuration" is one frontier point per
+ * application, and the search is greedy hill climbing over
+ * single-point moves:
+ *
+ *   1. seed from the CF estimates — per-application budgets
+ *      proportional to estimated efficiency (perf per watt at the
+ *      frontier knee), repaired to fit the budget, or from the
+ *      previous decision's configuration when the application set is
+ *      unchanged (warm start);
+ *   2. climb: among all single-app upgrades that fit the slack and
+ *      all downgrade-one/upgrade-another swaps, apply the move with
+ *      the best aggregate-utility gain until no move improves.
+ *
+ * The search is deterministic (ties break toward lower app indices)
+ * and bounded, and it conserves the budget at every step.  Against
+ * the paper's exact DP it trades optimality for a search that never
+ * touches a DP table — the arena shows where that trade wins and
+ * where it costs.
+ */
+
+#ifndef PSM_CORE_POLICY_CUTTLESYS_HH
+#define PSM_CORE_POLICY_CUTTLESYS_HH
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "policy_registry.hh"
+
+namespace psm::core
+{
+
+/** The CuttleSys-style CF-seeded local-search planner. */
+class CuttleSysPlanner : public SpatialPlanner
+{
+  public:
+    Allocation plan(const std::vector<const UtilityCurve *> &curves,
+                    Watts usable, const Context &ctx) override;
+
+  private:
+    /** Last decision's configuration (app name -> frontier index),
+     * the warm start when the application set is unchanged. */
+    std::map<std::string, std::size_t> last_choice;
+};
+
+} // namespace psm::core
+
+#endif // PSM_CORE_POLICY_CUTTLESYS_HH

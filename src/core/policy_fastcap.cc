@@ -1,0 +1,167 @@
+#include "policy_fastcap.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace psm::core
+{
+
+namespace
+{
+
+/**
+ * Cheapest frontier index delivering perfNorm >= min(level, max):
+ * the frontier is strictly increasing in both power and perfNorm, so
+ * this is a lower bound on perfNorm, clamped to the last point when
+ * the application cannot reach the level at all.
+ */
+std::size_t
+indexForLevel(const UtilityCurve &curve, double level)
+{
+    const auto &pts = curve.points();
+    auto it = std::lower_bound(
+        pts.begin(), pts.end(), level,
+        [](const UtilityPoint &p, double l) { return p.perfNorm < l; });
+    if (it == pts.end())
+        return pts.size() - 1;
+    return static_cast<std::size_t>(it - pts.begin());
+}
+
+/** Total power of the per-app cheapest points reaching @p level. */
+Watts
+costAtLevel(const std::vector<const UtilityCurve *> &curves,
+            double level)
+{
+    Watts total = 0.0;
+    for (const UtilityCurve *c : curves)
+        total += c->points()[indexForLevel(*c, level)].power;
+    return total;
+}
+
+/** Best-effort equal split when even the floor does not fit; at
+ * least one application stays unscheduled, so the selector's
+ * fallback ladder (temporal plans, fair RAPL, idle) takes over. */
+Allocation
+equalBestEffort(const std::vector<const UtilityCurve *> &curves,
+                Watts usable)
+{
+    Allocation out;
+    out.dynamicBudget = usable;
+    Watts share = usable / static_cast<double>(curves.size());
+    for (const UtilityCurve *c : curves) {
+        AppAllocation a;
+        a.app = c->name();
+        a.budget = share;
+        a.point = c->bestWithin(share);
+        if (a.point) {
+            a.expectedPerf = a.point->perfNorm;
+            out.used += a.point->power;
+            out.objective += a.expectedPerf;
+        }
+        out.apps.push_back(std::move(a));
+    }
+    return out;
+}
+
+} // namespace
+
+Allocation
+FastCapPlanner::plan(const std::vector<const UtilityCurve *> &curves,
+                     Watts usable, const Context &ctx)
+{
+    Allocation out;
+    out.dynamicBudget = usable;
+    const std::size_t k = curves.size();
+    if (k == 0)
+        return out;
+    if (ctx.telemetry)
+        ctx.telemetry->count(trace::EventId::PolicyFastcapPlans);
+
+    // Floor feasibility: every application at its cheapest point.
+    Watts floor_total = 0.0;
+    for (const UtilityCurve *c : curves)
+        floor_total += c->minPower();
+    if (floor_total > usable + 1e-9)
+        return equalBestEffort(curves, usable);
+
+    // The uniform throttle ladder: every distinct frontier perfNorm
+    // is a candidate common performance level.
+    std::vector<double> levels;
+    for (const UtilityCurve *c : curves)
+        for (const UtilityPoint &p : c->points())
+            levels.push_back(p.perfNorm);
+    std::sort(levels.begin(), levels.end());
+    levels.erase(std::unique(levels.begin(), levels.end()),
+                 levels.end());
+
+    // Water-fill: the highest level t whose per-app cheapest points
+    // (capped at each app's own maximum) fit the budget.  cost() is
+    // non-decreasing in t and cost(levels[0]) == floor_total, which
+    // fits, so the invariant "lo is feasible" holds throughout.
+    std::size_t lo = 0, hi = levels.size() - 1;
+    while (lo < hi) {
+        std::size_t mid = lo + (hi - lo + 1) / 2;
+        if (costAtLevel(curves, levels[mid]) <= usable + 1e-9)
+            lo = mid;
+        else
+            hi = mid - 1;
+    }
+
+    std::vector<std::size_t> chosen(k);
+    Watts spent = 0.0;
+    for (std::size_t i = 0; i < k; ++i) {
+        chosen[i] = indexForLevel(*curves[i], levels[lo]);
+        spent += curves[i]->points()[chosen[i]].power;
+    }
+
+    // Spend the leftover worst-first: repeatedly upgrade the
+    // application with the lowest achieved perfNorm (ties broken by
+    // admission order) to its next frontier point while it fits.
+    // Each pass either upgrades one app or terminates, and every app
+    // can only climb its own frontier once, so the loop is bounded by
+    // the total point count.
+    Watts leftover = usable - spent;
+    for (;;) {
+        std::size_t pick = k;
+        double pick_perf = 0.0;
+        for (std::size_t i = 0; i < k; ++i) {
+            const auto &pts = curves[i]->points();
+            if (chosen[i] + 1 >= pts.size())
+                continue;
+            Watts delta =
+                pts[chosen[i] + 1].power - pts[chosen[i]].power;
+            if (delta > leftover + 1e-9)
+                continue;
+            double perf = pts[chosen[i]].perfNorm;
+            if (pick == k || perf < pick_perf) {
+                pick = i;
+                pick_perf = perf;
+            }
+        }
+        if (pick == k)
+            break;
+        const auto &pts = curves[pick]->points();
+        leftover -= pts[chosen[pick] + 1].power -
+                    pts[chosen[pick]].power;
+        ++chosen[pick];
+        if (ctx.telemetry)
+            ctx.telemetry->count(trace::EventId::PolicyFastcapUpgrades);
+    }
+
+    for (std::size_t i = 0; i < k; ++i) {
+        const UtilityPoint &p = curves[i]->points()[chosen[i]];
+        AppAllocation a;
+        a.app = curves[i]->name();
+        a.budget = p.power;
+        a.point = p;
+        a.expectedPerf = p.perfNorm;
+        out.used += p.power;
+        out.objective += p.perfNorm;
+        out.apps.push_back(std::move(a));
+    }
+    psm_assert(out.used <= usable + 1e-6);
+    return out;
+}
+
+} // namespace psm::core

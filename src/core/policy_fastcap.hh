@@ -1,0 +1,46 @@
+/**
+ * @file
+ * FastCap-style fair capping (Liu et al., "FastCap: Fair and Fast
+ * Power Capping with Many-Core DVFS"): a rival allocator for the
+ * policy arena.
+ *
+ * FastCap's objective is fairness under a power cap: every
+ * application is throttled to a similar degree relative to its
+ * uncapped performance, with per-core and memory DVFS chosen jointly.
+ * Mapped onto this framework, "throttling degree" is exactly
+ * normalized performance (perfNorm — heartbeat rate over uncapped
+ * rate), and the joint core+memory knob space is the learnt (f, n, m)
+ * Pareto frontier, so the policy maximizes the MINIMUM perfNorm
+ * across applications instead of the paper scheme's SUM (Eq. 1):
+ *
+ *   1. find the highest uniform performance level t such that every
+ *      application can reach min(t, its max) within the budget
+ *      (water-filling over the discrete ladder of frontier levels);
+ *   2. spend the leftover worst-first — repeatedly upgrade the
+ *      application with the lowest achieved perfNorm to its next
+ *      frontier point while the slack allows.
+ *
+ * Max-min trades aggregate utility for fairness, which is the point:
+ * in the arena it brackets the paper's utilitarian allocator from the
+ * egalitarian side.
+ */
+
+#ifndef PSM_CORE_POLICY_FASTCAP_HH
+#define PSM_CORE_POLICY_FASTCAP_HH
+
+#include "policy_registry.hh"
+
+namespace psm::core
+{
+
+/** The FastCap-style max-min fair spatial planner. */
+class FastCapPlanner : public SpatialPlanner
+{
+  public:
+    Allocation plan(const std::vector<const UtilityCurve *> &curves,
+                    Watts usable, const Context &ctx) override;
+};
+
+} // namespace psm::core
+
+#endif // PSM_CORE_POLICY_FASTCAP_HH

@@ -2,21 +2,28 @@
 
 #include <cmath>
 
-#include "util/logging.hh"
-
 namespace psm::perf
 {
 
 namespace
 {
 const double ln100 = std::log(100.0);
+
+/** True when the pair is outside the model's domain: negative rates
+ * make no physical sense and NaNs would otherwise propagate as
+ * silently-wrong finite comparisons. */
+bool
+invalidRates(double mu, double lambda)
+{
+    return !(mu >= 0.0) || !(lambda >= 0.0);
+}
+
 } // namespace
 
 double
 LatencyModel::utilization(double mu, double lambda)
 {
-    psm_assert(lambda >= 0.0 && mu >= 0.0);
-    if (mu <= 0.0)
+    if (invalidRates(mu, lambda) || mu <= 0.0)
         return unstable;
     return lambda / mu;
 }
@@ -24,8 +31,7 @@ LatencyModel::utilization(double mu, double lambda)
 double
 LatencyModel::meanSojourn(double mu, double lambda)
 {
-    psm_assert(lambda >= 0.0 && mu >= 0.0);
-    if (lambda >= mu)
+    if (invalidRates(mu, lambda) || lambda >= mu)
         return unstable;
     return 1.0 / (mu - lambda);
 }
@@ -42,8 +48,8 @@ LatencyModel::p99(double mu, double lambda)
 double
 LatencyModel::requiredRateForSlo(double lambda, double slo_p99)
 {
-    psm_assert(lambda >= 0.0);
-    psm_assert(slo_p99 > 0.0);
+    if (!(lambda >= 0.0) || !(slo_p99 > 0.0))
+        return unstable;
     return lambda + ln100 / slo_p99;
 }
 

@@ -30,33 +30,46 @@ namespace psm::perf
 /**
  * Queueing estimates for a service with rate @p mu (requests/s)
  * under offered load @p lambda (requests/s).
+ *
+ * The sentinel contract is uniform: every query returns `unstable`
+ * (infinity) for any input outside the model's domain — an unstable
+ * queue (lambda >= mu, mu == 0), negative rates, NaNs, or a
+ * non-positive SLO — never an assertion.  Callers feeding measured
+ * (possibly faulted) telemetry through the model can thus rank
+ * allocations without pre-screening their inputs; infinity loses
+ * every comparison, which is exactly the ranking an infeasible
+ * operating point deserves.
  */
 class LatencyModel
 {
   public:
-    /** Utilization rho = lambda / mu (infinity when mu == 0). */
+    /** Utilization rho = lambda / mu (`unstable` when mu == 0 or
+     * either rate is negative/NaN). */
     static double utilization(double mu, double lambda);
 
     /**
      * Mean sojourn (queue + service) time in seconds: 1/(mu-lambda).
-     * Infinite when the queue is unstable (lambda >= mu).
+     * `unstable` when the queue is unstable (lambda >= mu) or either
+     * rate is negative/NaN.
      */
     static double meanSojourn(double mu, double lambda);
 
     /**
      * Approximate 99th percentile sojourn time: the sojourn
      * distribution of M/M/1 is exponential with mean 1/(mu-lambda),
-     * so p99 = ln(100) * mean.
+     * so p99 = ln(100) * mean.  `unstable` whenever meanSojourn is.
      */
     static double p99(double mu, double lambda);
 
     /**
      * Smallest service rate meeting a p99 SLO at load @p lambda:
-     * mu = lambda + ln(100)/slo.
+     * mu = lambda + ln(100)/slo.  `unstable` when lambda is
+     * negative/NaN or the SLO is not a positive time — no finite
+     * rate meets a 0-second tail bound.
      */
     static double requiredRateForSlo(double lambda, double slo_p99);
 
-    /** Sentinel for unstable queues. */
+    /** Sentinel for queries outside the model's domain. */
     static constexpr double unstable =
         std::numeric_limits<double>::infinity();
 };

@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "core/policy_registry.hh"
 #include "trace/log.hh"
 
 namespace psm::serve
@@ -67,16 +68,21 @@ encodeCaptureConfig(const EngineConfig &cfg)
 
 bool
 decodeCaptureConfig(const std::vector<std::uint8_t> &payload,
-                    EngineConfig &out)
+                    EngineConfig &out, std::string *error)
 {
-    if (payload.size() < 8)
+    auto fail = [&](const std::string &why) {
+        if (error)
+            *error = why;
         return false;
+    };
+    if (payload.size() < 8)
+        return fail("Config payload truncated");
     std::vector<std::uint8_t> body(payload.begin(), payload.end() - 8);
     trace::ByteCursor tail(payload);
     tail.pos = payload.size() - 8;
     std::uint64_t fp = 0;
     if (!tail.getU64(fp) || fp != fingerprint(body))
-        return false;
+        return fail("Config fingerprint mismatch");
 
     trace::ByteCursor c(body);
     std::uint8_t version = 0, esd = 0, seed_corpus = 0, policy = 0,
@@ -85,7 +91,7 @@ decodeCaptureConfig(const std::vector<std::uint8_t> &payload,
     EngineConfig cfg;
     core::ManagerConfig &m = cfg.manager;
     if (!c.getU8(version) || version != kConfigVersion)
-        return false;
+        return fail("unsupported Config version");
     if (!c.getU32(nodes) || !c.getF64(cfg.serverCap) ||
         !c.getU8(esd) || !c.getU64(cfg.seedBase) ||
         !c.getU8(seed_corpus) || !c.getF64(cfg.maxAdvance) ||
@@ -95,15 +101,28 @@ decodeCaptureConfig(const std::vector<std::uint8_t> &payload,
         !c.getU64(m.controlPeriod) || !c.getF64(m.budgetGuard) ||
         !c.getF64(m.trimGain) || !c.getU64(m.refreshPeriod) ||
         !c.getU8(sampling) || !c.getU8(dense_dp) || !c.getU64(m.seed))
-        return false;
-    if (!c.atEnd() || nodes == 0 ||
-        policy > static_cast<std::uint8_t>(
-                     core::PolicyKind::AppResEsdAware))
-        return false;
+        return fail("Config fields truncated");
+    if (!c.atEnd())
+        return fail("trailing bytes after Config fields");
+    if (nodes == 0)
+        return fail("Config has zero nodes");
+    // The policy byte is the PolicyKind wire id; resolve it through
+    // the registry instead of a blind enum cast so captures from
+    // builds with policies this binary does not register are refused
+    // with a reason, not replayed with corrupt dispatch.
+    const core::PolicyInfo *info =
+        core::PolicyRegistry::instance().findWireId(policy);
+    if (!info)
+        return fail("unregistered policy wire id " +
+                    std::to_string(static_cast<int>(policy)));
+    if (sampling > static_cast<std::uint8_t>(
+                       cf::SamplingStrategy::Stratified))
+        return fail("invalid sampling strategy " +
+                    std::to_string(static_cast<int>(sampling)));
     cfg.nodes = static_cast<int>(nodes);
     cfg.esd = esd != 0;
     cfg.seedCorpus = seed_corpus != 0;
-    m.policy = static_cast<core::PolicyKind>(policy);
+    m.policy = info->kind;
     m.oracleUtilities = oracle != 0;
     m.sampling = static_cast<cf::SamplingStrategy>(sampling);
     m.allocator.denseDp = dense_dp != 0;
@@ -211,9 +230,12 @@ readCapture(const std::string &path, Capture &out, std::string &error)
                 error = "duplicate Config record";
                 return false;
             }
-            if (!decodeCaptureConfig(payload, cap.config)) {
-                error = "malformed Config record";
-                return false;
+            {
+                std::string why;
+                if (!decodeCaptureConfig(payload, cap.config, &why)) {
+                    error = "malformed Config record: " + why;
+                    return false;
+                }
             }
             have_config = true;
             break;

@@ -64,8 +64,16 @@ struct CapturedCommit
 // --- record codecs --------------------------------------------------
 
 std::vector<std::uint8_t> encodeCaptureConfig(const EngineConfig &cfg);
+/**
+ * Decode and validate a Config payload.  Enum bytes (policy,
+ * sampling) are checked against the live registry/enum range — a
+ * capture recorded by a newer build with policies this build does
+ * not know fails here rather than being cast blindly.  On failure,
+ * @p error (when non-null) gets the reason.
+ */
 bool decodeCaptureConfig(const std::vector<std::uint8_t> &payload,
-                         EngineConfig &out);
+                         EngineConfig &out,
+                         std::string *error = nullptr);
 
 std::vector<std::uint8_t> encodeCapturedEvent(const CapturedEvent &ev);
 bool decodeCapturedEvent(const std::vector<std::uint8_t> &payload,

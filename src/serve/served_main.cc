@@ -16,12 +16,15 @@
 #include <csignal>
 #include <cstdlib>
 #include <cstring>
+#include <limits>
 #include <string>
 #include <thread>
 
 #include "core/policy.hh"
+#include "core/policy_registry.hh"
 #include "serve/service.hh"
 #include "util/logging.hh"
+#include "util/parse.hh"
 
 namespace
 {
@@ -39,24 +42,12 @@ onSignal(int)
 bool
 parsePolicy(const std::string &name, core::PolicyKind &out)
 {
-    static const struct
-    {
-        const char *name;
-        core::PolicyKind kind;
-    } kTable[] = {
-        {"util-unaware", core::PolicyKind::UtilUnaware},
-        {"server-res-aware", core::PolicyKind::ServerResAware},
-        {"app-aware", core::PolicyKind::AppAware},
-        {"app-res-aware", core::PolicyKind::AppResAware},
-        {"app-res-esd-aware", core::PolicyKind::AppResEsdAware},
-    };
-    for (const auto &entry : kTable) {
-        if (name == entry.name) {
-            out = entry.kind;
-            return true;
-        }
-    }
-    return false;
+    const core::PolicyInfo *info =
+        core::PolicyRegistry::instance().findName(name);
+    if (!info)
+        return false;
+    out = info->kind;
+    return true;
 }
 
 [[noreturn]] void
@@ -65,12 +56,32 @@ usage()
     std::fprintf(
         stderr,
         "usage: psm-served [--port N] [--nodes N] [--cap W]\n"
-        "                  [--policy util-unaware|server-res-aware|"
-        "app-aware|app-res-aware|app-res-esd-aware]\n"
+        "                  [--policy %s]\n"
         "                  [--esd] [--queue N] [--batch N] "
         "[--seed N]\n"
-        "                  [--shard-size N] [--capture FILE]\n");
+        "                  [--shard-size N] [--capture FILE]\n",
+        core::PolicyRegistry::instance().cliNames().c_str());
     std::exit(2);
+}
+
+/** Reject the flag's value with a diagnostic, then die with usage. */
+[[noreturn]] void
+badValue(const std::string &flag, const char *value)
+{
+    std::fprintf(stderr, "psm-served: invalid value '%s' for %s\n",
+                 value, flag.c_str());
+    usage();
+}
+
+/** Checked strtol for a flag: whole-string, in-range, or die. */
+long
+parseCount(const std::string &flag, const char *value, long lo,
+           long hi)
+{
+    long out = 0;
+    if (!util::parseLongInRange(value, lo, hi, out))
+        badValue(flag, value);
+    return out;
 }
 
 } // namespace
@@ -91,35 +102,44 @@ main(int argc, char **argv)
                 usage();
             return argv[++i];
         };
-        if (arg == "--port")
-            port = static_cast<std::uint16_t>(std::atoi(next()));
-        else if (arg == "--nodes")
-            cfg.engine.nodes = std::atoi(next());
-        else if (arg == "--cap")
-            cfg.engine.serverCap = std::atof(next());
-        else if (arg == "--policy") {
-            if (!parsePolicy(next(), cfg.engine.manager.policy))
-                usage();
+        if (arg == "--port") {
+            const char *value = next();
+            if (!util::parsePort(value, port))
+                badValue(arg, value);
+        } else if (arg == "--nodes") {
+            cfg.engine.nodes = static_cast<int>(parseCount(
+                arg, next(), 1, std::numeric_limits<int>::max()));
+        } else if (arg == "--cap") {
+            const char *value = next();
+            if (!util::parseFiniteDouble(value,
+                                         cfg.engine.serverCap))
+                badValue(arg, value);
+        } else if (arg == "--policy") {
+            const char *value = next();
+            if (!parsePolicy(value, cfg.engine.manager.policy))
+                badValue(arg, value);
         } else if (arg == "--esd")
             cfg.engine.esd = true;
         else if (arg == "--queue")
-            cfg.maxQueue =
-                static_cast<std::size_t>(std::atol(next()));
+            cfg.maxQueue = static_cast<std::size_t>(parseCount(
+                arg, next(), 0, std::numeric_limits<long>::max()));
         else if (arg == "--batch")
-            cfg.maxBatch =
-                static_cast<std::size_t>(std::atol(next()));
-        else if (arg == "--seed")
-            cfg.engine.seedBase =
-                static_cast<std::uint64_t>(std::atoll(next()));
-        else if (arg == "--shard-size")
-            cfg.engine.shardSize = std::atoi(next());
-        else if (arg == "--capture")
+            cfg.maxBatch = static_cast<std::size_t>(parseCount(
+                arg, next(), 1, std::numeric_limits<long>::max()));
+        else if (arg == "--seed") {
+            const char *value = next();
+            long seed = 0;
+            if (!util::parseLong(value, seed) || seed < 0)
+                badValue(arg, value);
+            cfg.engine.seedBase = static_cast<std::uint64_t>(seed);
+        } else if (arg == "--shard-size") {
+            cfg.engine.shardSize = static_cast<int>(parseCount(
+                arg, next(), 1, std::numeric_limits<int>::max()));
+        } else if (arg == "--capture")
             capture_path = next();
         else
             usage();
     }
-    if (cfg.engine.nodes < 1)
-        fatal("--nodes must be >= 1");
     if (cfg.engine.esd)
         cfg.engine.manager.policy = core::PolicyKind::AppResEsdAware;
 

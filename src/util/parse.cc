@@ -1,0 +1,66 @@
+#include "parse.hh"
+
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+
+namespace psm::util
+{
+
+bool
+parseLong(const char *text, long &out)
+{
+    if (!text || *text == '\0')
+        return false;
+    errno = 0;
+    char *end = nullptr;
+    long value = std::strtol(text, &end, 10);
+    if (errno == ERANGE)
+        return false; // overflow/underflow
+    if (end == text || *end != '\0')
+        return false; // nothing parsed, or trailing garbage
+    out = value;
+    return true;
+}
+
+bool
+parseLongInRange(const char *text, long lo, long hi, long &out)
+{
+    long value = 0;
+    if (!parseLong(text, value))
+        return false;
+    if (value < lo || value > hi)
+        return false;
+    out = value;
+    return true;
+}
+
+bool
+parseFiniteDouble(const char *text, double &out)
+{
+    if (!text || *text == '\0')
+        return false;
+    errno = 0;
+    char *end = nullptr;
+    double value = std::strtod(text, &end);
+    if (errno == ERANGE && (value == HUGE_VAL || value == -HUGE_VAL))
+        return false; // magnitude overflow
+    if (end == text || *end != '\0')
+        return false;
+    if (!std::isfinite(value))
+        return false; // "nan", "inf" parse but are never valid knobs
+    out = value;
+    return true;
+}
+
+bool
+parsePort(const char *text, std::uint16_t &out)
+{
+    long value = 0;
+    if (!parseLongInRange(text, 1, 65535, value))
+        return false;
+    out = static_cast<std::uint16_t>(value);
+    return true;
+}
+
+} // namespace psm::util

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Checked numeric parsing for command-line and config input.
+ *
+ * The std::atoi/atof family silently returns 0 on garbage and has
+ * undefined behaviour on overflow, which turns a typo'd flag into a
+ * daemon quietly listening on port 0.  These helpers wrap strtol /
+ * strtod with the full error protocol: the WHOLE string must parse
+ * (no trailing junk), the value must be in range, and doubles must be
+ * finite.  They return false instead of guessing so the caller can
+ * print the offending text and exit with usage.
+ */
+
+#ifndef PSM_UTIL_PARSE_HH
+#define PSM_UTIL_PARSE_HH
+
+#include <cstdint>
+
+namespace psm::util
+{
+
+/**
+ * Parse the whole of @p text as a base-10 long.  Leading whitespace
+ * is accepted (strtol semantics); empty strings, trailing garbage
+ * ("12x"), bare signs and out-of-range values are rejected.
+ *
+ * @return true and sets @p out on success; false leaves @p out
+ *         untouched.
+ */
+bool parseLong(const char *text, long &out);
+
+/** parseLong plus a [lo, hi] range check (inclusive). */
+bool parseLongInRange(const char *text, long lo, long hi, long &out);
+
+/**
+ * Parse the whole of @p text as a finite double.  Rejects empty
+ * strings, trailing garbage, overflow to +-inf and explicit
+ * "nan"/"inf" spellings (a power cap of NaN is never what the
+ * operator meant).
+ */
+bool parseFiniteDouble(const char *text, double &out);
+
+/** Parse a TCP port: an integer in [1, 65535] (0 is the kernel's
+ * "pick for me" wildcard, which a daemon that prints its port should
+ * never silently accept). */
+bool parsePort(const char *text, std::uint16_t &out);
+
+} // namespace psm::util
+
+#endif // PSM_UTIL_PARSE_HH

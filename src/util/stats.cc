@@ -122,10 +122,17 @@ Histogram::Histogram(double lo, double hi, std::size_t bins)
 void
 Histogram::push(double x)
 {
+    // NaN carries no ranking information, and casting it (or an
+    // overflowing fraction) to an integer is UB — clamp in floating
+    // point first, where comparisons against NaN are safely false.
+    if (std::isnan(x))
+        return;
     double frac = (x - lo) / (hi - lo);
-    auto bin = static_cast<long>(frac * static_cast<double>(counts.size()));
-    bin = std::clamp<long>(bin, 0, static_cast<long>(counts.size()) - 1);
-    ++counts[static_cast<std::size_t>(bin)];
+    double scaled =
+        std::clamp(frac * static_cast<double>(counts.size()), 0.0,
+                   static_cast<double>(counts.size()) - 1.0);
+    auto bin = static_cast<std::size_t>(scaled);
+    ++counts[bin];
     ++total;
 }
 
@@ -146,7 +153,7 @@ Histogram::binLow(std::size_t bin) const
 double
 Histogram::percentile(double p) const
 {
-    if (total == 0)
+    if (total == 0 || std::isnan(p))
         return 0.0;
     p = std::clamp(p, 0.0, 100.0);
     auto target = static_cast<std::size_t>(
@@ -165,7 +172,14 @@ Histogram::percentile(double p) const
 double
 percentileOf(std::vector<double> samples, double p)
 {
-    if (samples.empty())
+    // NaN samples would poison std::sort (strict weak ordering) and
+    // a NaN p survives std::clamp; drop both up front.
+    samples.erase(std::remove_if(samples.begin(), samples.end(),
+                                 [](double s) {
+                                     return std::isnan(s);
+                                 }),
+                  samples.end());
+    if (samples.empty() || std::isnan(p))
         return 0.0;
     std::sort(samples.begin(), samples.end());
     p = std::clamp(p, 0.0, 100.0);

@@ -106,7 +106,7 @@ class Ewma
 
 /**
  * Fixed-bin histogram over [lo, hi); out-of-range samples land in the
- * first/last bin.
+ * first/last bin (NaN samples are dropped).
  */
 class Histogram
 {
@@ -121,7 +121,8 @@ class Histogram
     std::size_t totalSamples() const { return total; }
     /** Lower edge of a bin. */
     double binLow(std::size_t bin) const;
-    /** Approximate p-th percentile (p in [0, 100]) by bin midpoint. */
+    /** Approximate p-th percentile by bin midpoint.  p is clamped to
+     * [0, 100]; a NaN p (like an empty histogram) yields 0. */
     double percentile(double p) const;
 
   private:
@@ -131,7 +132,9 @@ class Histogram
     std::size_t total = 0;
 };
 
-/** Exact percentile of a sample vector (copies and sorts). */
+/** Exact percentile of a sample vector (copies and sorts).  p is
+ * clamped to [0, 100]; NaN samples are dropped, and an empty (or
+ * all-NaN) vector or a NaN p yields 0. */
 double percentileOf(std::vector<double> samples, double p);
 
 /** Arithmetic mean of a vector; zero when empty. */

@@ -96,6 +96,41 @@ TEST(LatencyModel, UnstableQueueIsInfinite)
               LatencyModel::unstable);
 }
 
+TEST(LatencyModel, OutOfDomainInputsReturnSentinel)
+{
+    using perf::LatencyModel;
+    double nan = std::nan("");
+    // The sentinel contract is uniform: negative rates, NaNs and
+    // non-positive SLOs all answer `unstable`, never an assert.
+    EXPECT_EQ(LatencyModel::utilization(-1.0, 10.0),
+              LatencyModel::unstable);
+    EXPECT_EQ(LatencyModel::utilization(10.0, -1.0),
+              LatencyModel::unstable);
+    EXPECT_EQ(LatencyModel::utilization(nan, 10.0),
+              LatencyModel::unstable);
+    EXPECT_EQ(LatencyModel::meanSojourn(-5.0, 1.0),
+              LatencyModel::unstable);
+    EXPECT_EQ(LatencyModel::meanSojourn(100.0, nan),
+              LatencyModel::unstable);
+    EXPECT_EQ(LatencyModel::p99(nan, nan), LatencyModel::unstable);
+    EXPECT_EQ(LatencyModel::requiredRateForSlo(100.0, 0.0),
+              LatencyModel::unstable);
+    EXPECT_EQ(LatencyModel::requiredRateForSlo(100.0, -0.1),
+              LatencyModel::unstable);
+    EXPECT_EQ(LatencyModel::requiredRateForSlo(-1.0, 0.1),
+              LatencyModel::unstable);
+    EXPECT_EQ(LatencyModel::requiredRateForSlo(100.0, nan),
+              LatencyModel::unstable);
+}
+
+TEST(LatencyModel, ZeroLoadIsServiceTimeOnly)
+{
+    using perf::LatencyModel;
+    // Valid boundary inputs still answer normally.
+    EXPECT_NEAR(LatencyModel::meanSojourn(100.0, 0.0), 0.01, 1e-12);
+    EXPECT_NEAR(LatencyModel::utilization(100.0, 0.0), 0.0, 1e-12);
+}
+
 TEST(LatencyModel, RequiredRateInvertsP99)
 {
     using perf::LatencyModel;

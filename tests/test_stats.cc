@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <vector>
 
 #include "util/random.hh"
@@ -82,6 +83,12 @@ TEST(RunningStats, MergeWithEmptyIsIdentity)
     c.merge(a);
     EXPECT_EQ(c.count(), 2u);
     EXPECT_DOUBLE_EQ(c.mean(), 3.0);
+    // The one-sided merges must not leak the empty side's +-inf
+    // min/max sentinels into the populated accumulator.
+    EXPECT_DOUBLE_EQ(a.min(), 2.0);
+    EXPECT_DOUBLE_EQ(a.max(), 4.0);
+    EXPECT_DOUBLE_EQ(c.min(), 2.0);
+    EXPECT_DOUBLE_EQ(c.max(), 4.0);
 }
 
 TEST(TimeWeightedStats, WeightsByDuration)
@@ -156,6 +163,62 @@ TEST(Percentile, EmptyReturnsZero)
     EXPECT_DOUBLE_EQ(percentileOf({}, 50.0), 0.0);
     EXPECT_DOUBLE_EQ(meanOf({}), 0.0);
     EXPECT_DOUBLE_EQ(geomeanOf({}), 0.0);
+}
+
+TEST(Percentile, OutOfRangePClampsToEnds)
+{
+    std::vector<double> xs = {1, 2, 3, 4, 5};
+    EXPECT_DOUBLE_EQ(percentileOf(xs, -10.0), 1.0);
+    EXPECT_DOUBLE_EQ(percentileOf(xs, 250.0), 5.0);
+}
+
+TEST(Percentile, NanInputsAreDropped)
+{
+    double nan = std::nan("");
+    // NaN samples would break std::sort's strict weak ordering;
+    // the percentile must come from the finite samples alone.
+    std::vector<double> xs = {nan, 1.0, nan, 2.0, 3.0, nan};
+    EXPECT_DOUBLE_EQ(percentileOf(xs, 0.0), 1.0);
+    EXPECT_DOUBLE_EQ(percentileOf(xs, 100.0), 3.0);
+    // A NaN p (or an all-NaN vector) yields the empty-vector answer.
+    EXPECT_DOUBLE_EQ(percentileOf({1.0, 2.0}, nan), 0.0);
+    EXPECT_DOUBLE_EQ(percentileOf({nan, nan}, 50.0), 0.0);
+}
+
+TEST(Histogram, NanSamplesAreDropped)
+{
+    Histogram h(0.0, 10.0, 5);
+    h.push(std::nan(""));
+    EXPECT_EQ(h.totalSamples(), 0u);
+    h.push(5.0);
+    EXPECT_EQ(h.totalSamples(), 1u);
+    EXPECT_NEAR(h.percentile(50.0), 5.0, 1.0);
+}
+
+TEST(Histogram, InfiniteSamplesClampToEdgeBins)
+{
+    Histogram h(0.0, 10.0, 5);
+    double inf = std::numeric_limits<double>::infinity();
+    h.push(inf);
+    h.push(-inf);
+    EXPECT_EQ(h.binSamples(4), 1u);
+    EXPECT_EQ(h.binSamples(0), 1u);
+}
+
+TEST(Histogram, PercentileEdgeCases)
+{
+    Histogram h(0.0, 10.0, 10);
+    // Empty histogram: every percentile is 0.
+    EXPECT_DOUBLE_EQ(h.percentile(0.0), 0.0);
+    EXPECT_DOUBLE_EQ(h.percentile(99.0), 0.0);
+    for (double x : {1.0, 3.0, 5.0, 7.0, 9.0})
+        h.push(x);
+    // p clamps to [0, 100]; NaN p matches the empty answer.
+    EXPECT_DOUBLE_EQ(h.percentile(-5.0), h.percentile(0.0));
+    EXPECT_DOUBLE_EQ(h.percentile(400.0), h.percentile(100.0));
+    EXPECT_DOUBLE_EQ(h.percentile(std::nan("")), 0.0);
+    EXPECT_NEAR(h.percentile(0.0), 1.5, 1.0);
+    EXPECT_NEAR(h.percentile(100.0), 9.5, 1.0);
 }
 
 TEST(Means, GeomeanAndMean)

@@ -10,6 +10,7 @@
 #include <sstream>
 
 #include "util/mathutil.hh"
+#include "util/parse.hh"
 #include "util/random.hh"
 #include "util/table.hh"
 
@@ -198,6 +199,70 @@ TEST(Table, Formatters)
 {
     EXPECT_EQ(fmtDouble(3.14159, 2), "3.14");
     EXPECT_EQ(fmtPercent(0.375, 1), "37.5%");
+}
+
+// --- checked CLI parsing ----------------------------------------------
+
+TEST(Parse, LongAcceptsWholeNumbersOnly)
+{
+    long v = -1;
+    EXPECT_TRUE(util::parseLong("42", v));
+    EXPECT_EQ(v, 42);
+    EXPECT_TRUE(util::parseLong("-7", v));
+    EXPECT_EQ(v, -7);
+    EXPECT_TRUE(util::parseLong(" 8", v)); // strtol skips leading ws
+    EXPECT_EQ(v, 8);
+
+    long untouched = 123;
+    EXPECT_FALSE(util::parseLong("", untouched));
+    EXPECT_FALSE(util::parseLong("12x", untouched));
+    EXPECT_FALSE(util::parseLong("x12", untouched));
+    EXPECT_FALSE(util::parseLong("-", untouched));
+    EXPECT_FALSE(util::parseLong("1 2", untouched));
+    EXPECT_FALSE(util::parseLong("9999999999999999999999",
+                                 untouched)); // overflow
+    EXPECT_FALSE(util::parseLong(nullptr, untouched));
+    EXPECT_EQ(untouched, 123); // failures leave the output alone
+}
+
+TEST(Parse, LongInRangeEnforcesBounds)
+{
+    long v = 0;
+    EXPECT_TRUE(util::parseLongInRange("5", 1, 10, v));
+    EXPECT_EQ(v, 5);
+    EXPECT_FALSE(util::parseLongInRange("0", 1, 10, v));
+    EXPECT_FALSE(util::parseLongInRange("11", 1, 10, v));
+    EXPECT_FALSE(util::parseLongInRange("-3", 0, 10, v));
+}
+
+TEST(Parse, FiniteDoubleRejectsNanInfAndGarbage)
+{
+    double v = 0.0;
+    EXPECT_TRUE(util::parseFiniteDouble("80.5", v));
+    EXPECT_DOUBLE_EQ(v, 80.5);
+    EXPECT_TRUE(util::parseFiniteDouble("-2e3", v));
+    EXPECT_DOUBLE_EQ(v, -2000.0);
+
+    EXPECT_FALSE(util::parseFiniteDouble("", v));
+    EXPECT_FALSE(util::parseFiniteDouble("80W", v));
+    EXPECT_FALSE(util::parseFiniteDouble("nan", v));
+    EXPECT_FALSE(util::parseFiniteDouble("inf", v));
+    EXPECT_FALSE(util::parseFiniteDouble("-inf", v));
+    EXPECT_FALSE(util::parseFiniteDouble("1e999", v)); // overflow
+}
+
+TEST(Parse, PortRejectsZeroOverflowAndNegatives)
+{
+    std::uint16_t port = 0;
+    EXPECT_TRUE(util::parsePort("7633", port));
+    EXPECT_EQ(port, 7633);
+    EXPECT_TRUE(util::parsePort("65535", port));
+    EXPECT_EQ(port, 65535);
+
+    EXPECT_FALSE(util::parsePort("0", port));
+    EXPECT_FALSE(util::parsePort("65536", port));
+    EXPECT_FALSE(util::parsePort("-1", port));
+    EXPECT_FALSE(util::parsePort("http", port));
 }
 
 } // namespace
