@@ -43,10 +43,45 @@ ClusterConfig::ClusterConfig() : esd(esd::leadAcidUps())
 {
 }
 
+bool
+ClusterConfig::validate(std::string *error) const
+{
+    auto fail = [&](const std::string &msg) {
+        if (error != nullptr)
+            *error = msg;
+        return false;
+    };
+    if (servers < 1)
+        return fail("cluster needs at least one server (servers = " +
+                    std::to_string(servers) + ")");
+    if (policy != ClusterPolicy::EqualRapl &&
+        !core::PolicyRegistry::instance().findName(managedPolicy)) {
+        return fail("unknown managed policy '" + managedPolicy +
+                    "' (expected one of " +
+                    core::PolicyRegistry::instance().cliNames() + ")");
+    }
+    for (const std::string &name : corpusWorkloads) {
+        if (!perf::hasWorkload(name)) {
+            return fail("unknown corpus workload '" + name +
+                        "' (expected one of " + perf::workloadNames() +
+                        ")");
+        }
+    }
+    if (interactivePerServer < 0 || interactivePerServer > 2) {
+        return fail("interactivePerServer must be 0, 1 or 2 (got " +
+                    std::to_string(interactivePerServer) + ")");
+    }
+    return true;
+}
+
 ClusterManager::ClusterManager(ClusterConfig config)
     : cfg(std::move(config))
 {
-    psm_assert(cfg.servers >= 1);
+    // Programmatic callers that skipped validate() still get the
+    // full diagnostic, just as an abort instead of a checked error.
+    std::string err;
+    if (!cfg.validate(&err))
+        fatal("%s", err.c_str());
 }
 
 void
@@ -66,14 +101,37 @@ ClusterManager::populateDefault()
         ledger.push_back(std::move(app));
     };
 
+    // Interactive services keep their calibrated open-ended profile:
+    // no runtime sizing, and their "throughput" is SLO attainment.
+    auto addInteractive = [&](std::size_t slot, int home) {
+        const auto &ilib = perf::interactiveLibrary();
+        LogicalApp app;
+        app.profile = ilib[slot % ilib.size()];
+        perf::PerfModel model(plat, app.profile);
+        app.uncappedRate = model.maxHbRate();
+        app.homeServer = home;
+        ledger.push_back(std::move(app));
+    };
+
     // Mixes 1..servers of Table II, co-located pairwise: the cluster
     // is fully packed (two applications per server, one per socket),
     // so consolidation can only shed a server by parking its pair.
+    // interactivePerServer swaps that many of each pair's slots for
+    // latency-critical services, rotated so neighbouring servers host
+    // different services (names must be unique per server, and the
+    // rotation keeps consolidation able to co-locate pairs).
     int n_mixes = static_cast<int>(perf::tableTwoMixes().size());
     for (int s = 0; s < cfg.servers; ++s) {
         const perf::Mix &mx = perf::mix(s % n_mixes + 1);
-        add(mx.app1, s);
-        add(mx.app2, s);
+        auto su = static_cast<std::size_t>(s);
+        if (cfg.interactivePerServer >= 1)
+            addInteractive(su, s);
+        else
+            add(mx.app1, s);
+        if (cfg.interactivePerServer >= 2)
+            addInteractive(su + 1, s);
+        else
+            add(mx.app2, s);
     }
 }
 
@@ -134,6 +192,7 @@ ClusterManager::buildNodes()
     pc.faults = cfg.faults;
     pc.shardSize = cfg.shardSize;
     pc.seedWorkloadCorpus = cfg.seedWorkloadCorpus;
+    pc.corpusWorkloads = cfg.corpusWorkloads;
     if (cfg.policy == ClusterPolicy::EqualOurs)
         pc.esd = cfg.esd;
     pool.emplace(pc);

@@ -124,6 +124,41 @@ struct ClusterConfig
      */
     bool seedWorkloadCorpus = true;
 
+    /**
+     * Workload names to seed each node's CF corpus with instead of
+     * the full batch library (empty keeps the historical default).
+     * Typos used to abort deep inside the node build with a bare
+     * "unknown workload" fatal; validate() now rejects them up front
+     * with the valid-name list.
+     */
+    std::vector<std::string> corpusWorkloads;
+
+    /**
+     * Replace this many of each server's two default batch slots
+     * (0, 1 or 2) with latency-critical services from the interactive
+     * library in populateDefault(), rotating the library across
+     * servers.  The services are open-ended (they hold their socket
+     * for the whole replay) and their normalized performance is the
+     * SLO-relative p99 attainment, so the cluster strategies trade
+     * batch throughput against tail latency under the same cap trace.
+     */
+    int interactivePerServer = 0;
+
+    ClusterConfig();
+
+    /**
+     * Check the configuration without aborting: servers >= 1,
+     * managedPolicy resolves in the PolicyRegistry, every
+     * corpusWorkloads name exists (perf::hasWorkload) and
+     * interactivePerServer is in [0, 2].  On failure returns false
+     * and, when @p error is non-null, fills it with a diagnostic that
+     * lists the valid names — callers with user-supplied
+     * configuration (CLI front ends, the serving layer) should call
+     * this and surface the message instead of letting the constructor
+     * fatal().
+     */
+    bool validate(std::string *error) const;
+
     // --- hierarchical topology (Topology::Tree only) -------------
 
     Topology topology = Topology::Flat;
@@ -143,8 +178,6 @@ struct ClusterConfig
      * drawing more get proportionally more of the cap.
      */
     bool demandAwareSplit = false;
-
-    ClusterConfig();
 };
 
 /** Outcome of one cap-trace replay. */

@@ -42,6 +42,14 @@ NodePool::NodePool(const NodePoolConfig &config)
     psm_assert(config.servers >= 1);
     auto n = static_cast<std::size_t>(config.servers);
     node_list.resize(n);
+    // Resolve any corpus override once, outside the parallel build:
+    // workload() fatal()s with the valid-name list on a typo, and a
+    // fatal inside a pool task would abort without that diagnostic
+    // reaching the caller cleanly.
+    std::vector<perf::AppProfile> corpus_override;
+    if (config.seedWorkloadCorpus)
+        for (const std::string &name : config.corpusWorkloads)
+            corpus_override.push_back(perf::workload(name));
     // Building a managed node profiles the whole workload library
     // into its corpus — the dominant setup cost.  Nodes share only
     // immutable platform/workload tables, so build them in parallel.
@@ -58,8 +66,11 @@ NodePool::NodePool(const NodePoolConfig &config)
                 config.seedBase + static_cast<std::uint64_t>(s);
             node.manager = std::make_unique<core::ServerManager>(
                 *node.server, mc);
-            if (config.seedWorkloadCorpus)
-                node.manager->seedCorpus(perf::workloadLibrary());
+            if (config.seedWorkloadCorpus) {
+                node.manager->seedCorpus(
+                    corpus_override.empty() ? perf::workloadLibrary()
+                                            : corpus_override);
+            }
         }
     });
 }

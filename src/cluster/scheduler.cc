@@ -54,20 +54,41 @@ ClusterScheduler::submit(Job job)
 void
 ClusterScheduler::generateWorkload(std::size_t count,
                                    double mean_interarrival_s,
-                                   double mean_seconds)
+                                   double mean_seconds,
+                                   double interactive_fraction)
 {
     psm_assert(mean_interarrival_s > 0.0 && mean_seconds > 0.0);
+    psm_assert(interactive_fraction >= 0.0 &&
+               interactive_fraction <= 1.0);
     const auto &library = perf::workloadLibrary();
+    const auto &interactive = perf::interactiveLibrary();
     double arrival_s = 0.0;
     for (std::size_t i = 0; i < count; ++i) {
         Job job;
-        job.profile = library[static_cast<std::size_t>(rng.uniformInt(
-            0, static_cast<int>(library.size()) - 1))];
-        // Size to ~mean_seconds of uncapped runtime (exponential).
-        perf::PerfModel model(power::defaultPlatform(), job.profile);
-        double seconds = std::max(
-            rng.exponential(1.0 / mean_seconds), mean_seconds / 10.0);
-        job.profile.totalHeartbeats = seconds * model.maxHbRate();
+        // Short-circuit keeps the all-batch draw stream (and thus
+        // every historical workload) bit-identical when the fraction
+        // is zero.
+        if (interactive_fraction > 0.0 &&
+            rng.chance(interactive_fraction)) {
+            // An open-ended service: profile as calibrated, no
+            // runtime sizing — it occupies its socket until the run
+            // ends.
+            job.profile = interactive[static_cast<std::size_t>(
+                rng.uniformInt(
+                    0, static_cast<int>(interactive.size()) - 1))];
+        } else {
+            job.profile =
+                library[static_cast<std::size_t>(rng.uniformInt(
+                    0, static_cast<int>(library.size()) - 1))];
+            // Size to ~mean_seconds of uncapped runtime
+            // (exponential).
+            perf::PerfModel model(power::defaultPlatform(),
+                                  job.profile);
+            double seconds =
+                std::max(rng.exponential(1.0 / mean_seconds),
+                         mean_seconds / 10.0);
+            job.profile.totalHeartbeats = seconds * model.maxHbRate();
+        }
         job.arrival = toTicks(arrival_s);
         arrival_s += rng.exponential(1.0 / mean_interarrival_s);
         submit(std::move(job));

@@ -94,10 +94,19 @@ class ClusterScheduler
      * drawn from the workload library, exponential inter-arrivals
      * with the given mean, each sized to roughly @p mean_seconds of
      * uncapped runtime.
+     *
+     * @param interactive_fraction Probability that a job is drawn
+     *        from the interactive library instead.  Interactive jobs
+     *        are open-ended services — they hold their socket for the
+     *        rest of the run and never appear in completion-time
+     *        statistics; what they add is the power struggle batch
+     *        jobs must complete under.  0 (the default) reproduces
+     *        the historical all-batch stream bit-for-bit.
      */
     void generateWorkload(std::size_t count,
                           double mean_interarrival_s,
-                          double mean_seconds);
+                          double mean_seconds,
+                          double interactive_fraction = 0.0);
 
     /**
      * Run until every submitted job finishes or @p horizon elapses.

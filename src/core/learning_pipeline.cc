@@ -77,6 +77,13 @@ LearningPipeline::track(int id, const std::string &name)
 }
 
 void
+LearningPipeline::track(int id, const perf::AppProfile &profile)
+{
+    track(id, profile.name);
+    apps.at(id).slo = InteractiveSlo::fromProfile(profile);
+}
+
+void
 LearningPipeline::forget(int id)
 {
     apps.erase(id);
@@ -210,8 +217,8 @@ LearningPipeline::utilityFor(int id, KnobFreedom freedom) const
     psm_assert(it != apps.end());
     psm_assert(it->second.surface.has_value());
     return UtilityCurve(it->second.name, profiler.settings(),
-                        *it->second.surface, freedom,
-                        &srv.platform());
+                        *it->second.surface, freedom, &srv.platform(),
+                        &it->second.slo);
 }
 
 } // namespace psm::core

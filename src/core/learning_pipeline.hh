@@ -88,6 +88,14 @@ class LearningPipeline
     /** Register an application with the pipeline. */
     void track(int id, const std::string &name);
 
+    /**
+     * Register an application carrying its full profile.  Interactive
+     * profiles additionally record their SLO spec, so utilityFor()
+     * hands the allocator an SLO-shaped curve; batch profiles behave
+     * exactly like the name-only overload.
+     */
+    void track(int id, const perf::AppProfile &profile);
+
     /** Drop a departed application's learning state. */
     void forget(int id);
 
@@ -167,6 +175,7 @@ class LearningPipeline
     struct AppLearning
     {
         std::string name;
+        InteractiveSlo slo; ///< invalid (all-zero) for batch apps
         std::optional<cf::UtilitySurface> surface;
         Tick calibration_ready = maxTick; ///< maxTick = none pending
         Tick calibration_started = 0;

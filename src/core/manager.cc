@@ -10,6 +10,18 @@ namespace psm::core
 double
 AppRecord::normalizedPerf(Tick now) const
 {
+    // Latency-critical services are judged on SLO attainment, not
+    // throughput (an open-loop client offers a fixed load, so served
+    // beats saturate at the offered rate long before the knee).
+    // The ratio mirrors the SLO utility transform: 1 inside the SLO,
+    // rolling off as the observed p99 blows past it.
+    if (interactive) {
+        if (requestCompletions == 0)
+            return 0.0;
+        if (requestP99 <= 0.0)
+            return 1.0;
+        return std::min(1.0, sloP99 / requestP99);
+    }
     Tick until = done ? finishedAt : now;
     if (until <= admitted || uncappedRate <= 0.0)
         return 0.0;
@@ -97,9 +109,11 @@ ServerManager::addApp(const perf::AppProfile &profile)
     r.name = profile.name;
     r.admitted = srv.now();
     r.uncappedRate = srv.app(id).perf().maxHbRate();
+    r.interactive = profile.interactive();
+    r.sloP99 = profile.sloP99;
     app_records.emplace(id, std::move(r));
 
-    pipeline.track(id, profile.name);
+    pipeline.track(id, profile);
     control.accountant().notifyArrival(id);
     if (policyAppAware(cfg.policy)) {
         if (pipeline.startCalibration(id))
@@ -365,9 +379,50 @@ ServerManager::runUntilAllDone(Tick max_duration)
 void
 ServerManager::syncRecords()
 {
+    std::uint64_t arrivals = 0;
+    std::uint64_t completions = 0;
+    std::uint64_t violations = 0;
+    std::uint64_t depth = 0;
+    double worst_p99 = 0.0;
+    bool any_interactive = false;
+
     for (auto &[id, r] : app_records) {
-        if (!r.done && srv.hasApp(id))
+        if (!r.done && srv.hasApp(id)) {
             r.beats = srv.app(id).heartbeats().total();
+            if (const auto *q = srv.app(id).requestQueue()) {
+                r.requestArrivals = q->arrivals();
+                r.requestCompletions = q->completed();
+                r.requestSloViolations = q->sloViolations();
+                r.requestP99 = q->p99();
+                r.requestMeanResponse = q->meanResponse();
+                r.queueDepth = q->depth();
+            }
+        }
+        if (r.interactive) {
+            any_interactive = true;
+            arrivals += r.requestArrivals;
+            completions += r.requestCompletions;
+            violations += r.requestSloViolations;
+            if (!r.done) {
+                depth += r.queueDepth;
+                worst_p99 = std::max(worst_p99, r.requestP99);
+            }
+        }
+    }
+
+    if (any_interactive) {
+        // Records keep their totals after departure, so the sums are
+        // monotone; publish the delta since the last sync.
+        tel.count(trace::EventId::InteractiveArrivals,
+                  arrivals - interactive_published.arrivals);
+        tel.count(trace::EventId::InteractiveCompletions,
+                  completions - interactive_published.completions);
+        tel.count(trace::EventId::InteractiveSloViolations,
+                  violations - interactive_published.violations);
+        interactive_published = {arrivals, completions, violations};
+        tel.gauge(trace::EventId::InteractiveQueueDepth, depth);
+        tel.gauge(trace::EventId::InteractiveP99Us,
+                  static_cast<std::uint64_t>(worst_p99 * 1e6));
     }
 }
 

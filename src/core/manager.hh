@@ -18,6 +18,8 @@
 #ifndef PSM_CORE_MANAGER_HH
 #define PSM_CORE_MANAGER_HH
 
+#include <cstddef>
+#include <cstdint>
 #include <map>
 #include <string>
 #include <vector>
@@ -100,6 +102,26 @@ struct AppRecord
     double beats = 0.0;        ///< heartbeats completed so far
     double uncappedRate = 0.0; ///< heartbeat rate with no cap
     bool done = false;
+
+    // Interactive (latency-critical) request statistics; zero for
+    // batch applications.
+    bool interactive = false;
+    double sloP99 = 0.0;       ///< the profile's p99 SLO in seconds
+    std::uint64_t requestArrivals = 0;
+    std::uint64_t requestCompletions = 0;
+    std::uint64_t requestSloViolations = 0;
+    double requestP99 = 0.0;   ///< observed p99 in seconds
+    double requestMeanResponse = 0.0; ///< mean response in seconds
+    std::size_t queueDepth = 0;
+
+    /** Fraction of completed requests that missed the SLO. */
+    double violationFraction() const
+    {
+        return requestCompletions > 0
+                   ? static_cast<double>(requestSloViolations) /
+                         static_cast<double>(requestCompletions)
+                   : 0.0;
+    }
 
     /**
      * Throughput normalized to uncapped execution over the app's
@@ -249,6 +271,14 @@ class ServerManager : private ControlLoop::Delegate
     Tick esd_restore_at = maxTick; ///< pending ESD restoration time
     Watts last_pushed_cap = 0.0;   ///< setCapIfChanged() dedup state
     bool cap_ever_pushed = false;
+
+    /** Cumulative interactive totals already published as counters. */
+    struct InteractivePublished
+    {
+        std::uint64_t arrivals = 0;
+        std::uint64_t completions = 0;
+        std::uint64_t violations = 0;
+    } interactive_published;
 
     std::map<int, AppRecord> app_records;
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "perf/latency.hh"
 #include "util/logging.hh"
 
 namespace psm::core
@@ -12,10 +13,12 @@ UtilityCurve::UtilityCurve(
     std::string name,
     const std::vector<power::KnobSetting> &settings,
     const cf::UtilitySurface &surface, KnobFreedom freedom,
-    const power::PlatformConfig *platform)
+    const power::PlatformConfig *platform, const InteractiveSlo *slo)
     : app_name(std::move(name))
 {
     (void)platform;
+    if (slo != nullptr && slo->valid())
+        slo_spec = *slo;
     psm_assert(settings.size() == surface.power.size() &&
                settings.size() == surface.hbRate.size());
     psm_assert(!settings.empty());
@@ -49,7 +52,21 @@ UtilityCurve::UtilityCurve(
         p.setting = s;
         p.power = surface.power[c];
         p.hbRate = surface.hbRate[c];
-        p.perfNorm = p.hbRate / nocap_rate;
+        if (slo_spec) {
+            // SLO utility: 1 while the predicted M/M/1 tail meets
+            // the SLO, decaying as the tail stretches past it, 0
+            // where the queue is unstable.  Monotone non-decreasing
+            // in hbRate, so the frontier ordering below still yields
+            // non-decreasing perfNorm along increasing power.
+            double mu = p.hbRate / slo_spec->hbPerRequest;
+            double p99 =
+                perf::LatencyModel::p99(mu, slo_spec->offeredLoad);
+            p.perfNorm = std::isfinite(p99)
+                             ? std::min(1.0, slo_spec->sloP99 / p99)
+                             : 0.0;
+        } else {
+            p.perfNorm = p.hbRate / nocap_rate;
+        }
         candidates.push_back(p);
     }
     psm_assert(!candidates.empty());

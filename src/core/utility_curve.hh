@@ -19,11 +19,43 @@
 #include <vector>
 
 #include "cf/estimator.hh"
+#include "perf/app_profile.hh"
 #include "power/platform.hh"
 #include "util/units.hh"
 
 namespace psm::core
 {
+
+/**
+ * The queueing contract of an interactive application, as far as the
+ * allocator needs to know it: offered load, mean request cost, and
+ * the p99 SLO.  When attached to a UtilityCurve it replaces throughput
+ * normalization with an SLO utility (see the curve constructor).
+ */
+struct InteractiveSlo
+{
+    double offeredLoad = 0.0;  ///< lambda, requests per second
+    double hbPerRequest = 0.0; ///< mean request cost in heartbeats
+    double sloP99 = 0.0;       ///< p99 SLO in seconds
+
+    bool valid() const
+    {
+        return offeredLoad > 0.0 && hbPerRequest > 0.0 && sloP99 > 0.0;
+    }
+
+    /** The spec of an interactive profile; invalid (all-zero) for
+     * batch profiles. */
+    static InteractiveSlo fromProfile(const perf::AppProfile &p)
+    {
+        InteractiveSlo s;
+        if (p.interactive()) {
+            s.offeredLoad = p.offeredLoad;
+            s.hbPerRequest = p.hbPerRequest;
+            s.sloP99 = p.sloP99;
+        }
+        return s;
+    }
+};
 
 /** One Pareto-optimal operating point. */
 struct UtilityPoint
@@ -62,12 +94,24 @@ class UtilityCurve
      * @param platform Optional platform description (reserved for
      *        enforcement-specific curve adjustments; currently
      *        unused).
+     * @param slo Optional interactive-SLO spec.  When valid, perfNorm
+     *        is no longer hbRate/uncapped but the SLO utility
+     *        min(1, sloP99 / p99(mu, lambda)) with mu the service rate
+     *        the setting's heartbeat rate sustains — 0 where the M/M/1
+     *        queue is unstable, saturating at 1 once the tail meets
+     *        the SLO.  The transform is monotone non-decreasing in
+     *        hbRate, so the Pareto frontier and every allocator
+     *        invariant (non-decreasing perfNorm along the curve) are
+     *        preserved; the DP, fastcap and cuttlesys policies see a
+     *        curve whose marginal utility collapses past the SLO knee
+     *        and trade watts to batch apps exactly there.
      */
     UtilityCurve(std::string name,
                  const std::vector<power::KnobSetting> &settings,
                  const cf::UtilitySurface &surface,
                  KnobFreedom freedom = KnobFreedom::All,
-                 const power::PlatformConfig *platform = nullptr);
+                 const power::PlatformConfig *platform = nullptr,
+                 const InteractiveSlo *slo = nullptr);
 
     const std::string &name() const { return app_name; }
     const std::vector<UtilityPoint> &points() const { return frontier; }
@@ -75,6 +119,13 @@ class UtilityCurve
 
     /** Uncapped (max-setting) heartbeat rate used for normalization. */
     double uncappedHbRate() const { return nocap_rate; }
+
+    /** The interactive-SLO spec shaping perfNorm; nullopt for
+     * throughput (batch) curves. */
+    const std::optional<InteractiveSlo> &interactiveSlo() const
+    {
+        return slo_spec;
+    }
 
     /** Least power at which the application can run at all. */
     Watts minPower() const;
@@ -128,6 +179,7 @@ class UtilityCurve
     std::string app_name;
     std::vector<UtilityPoint> frontier;
     double nocap_rate = 0.0;
+    std::optional<InteractiveSlo> slo_spec;
 };
 
 /**

@@ -33,7 +33,8 @@ namespace psm::net
 
 constexpr std::uint8_t kMagic0 = 'P';
 constexpr std::uint8_t kMagic1 = 'S';
-constexpr std::uint8_t kProtocolVersion = 1;
+/** v2: E2 arrivals carry a workload class + per-request SLO field. */
+constexpr std::uint8_t kProtocolVersion = 2;
 constexpr std::size_t kHeaderSize = 12;
 /** Upper bound on a single frame's payload; larger lengths are a
  * protocol violation, not a big message. */

@@ -19,6 +19,8 @@ appTypeName(AppType type)
         return "memory";
       case AppType::Media:
         return "media";
+      case AppType::Interactive:
+        return "interactive";
       default:
         panic("invalid AppType %d", static_cast<int>(type));
     }
@@ -46,6 +48,20 @@ AppProfile::validate() const
         fatal("%s: residentStateMb must be non-negative", name.c_str());
     if (totalHeartbeats <= 0.0)
         fatal("%s: totalHeartbeats must be positive", name.c_str());
+    if (interactive()) {
+        if (offeredLoad <= 0.0)
+            fatal("%s: interactive offeredLoad must be positive",
+                  name.c_str());
+        if (hbPerRequest <= 0.0)
+            fatal("%s: interactive hbPerRequest must be positive",
+                  name.c_str());
+        if (sloP99 <= 0.0)
+            fatal("%s: interactive sloP99 must be positive", name.c_str());
+    } else if (offeredLoad != 0.0 || hbPerRequest != 0.0 ||
+               sloP99 != 0.0) {
+        fatal("%s: interactive fields set on a %s profile", name.c_str(),
+              appTypeName(type).c_str());
+    }
 }
 
 } // namespace psm::perf

@@ -23,11 +23,12 @@ namespace psm::perf
 /** Workload family, as labelled in Table II. */
 enum class AppType
 {
-    Analytics, ///< data analytics (kmeans, APR)
-    Graph,     ///< graph analytics (BFS, CC, SSSP, BC, TC)
-    Search,    ///< search indexing (PageRank)
-    Memory,    ///< memory streaming (STREAM)
-    Media,     ///< media processing (x264, facesim, ferret)
+    Analytics,   ///< data analytics (kmeans, APR)
+    Graph,       ///< graph analytics (BFS, CC, SSSP, BC, TC)
+    Search,      ///< search indexing (PageRank)
+    Memory,      ///< memory streaming (STREAM)
+    Media,       ///< media processing (x264, facesim, ferret)
+    Interactive, ///< latency-critical request serving (open-loop)
 };
 
 /** Printable name of an AppType ("graph", "media", ...). */
@@ -84,6 +85,36 @@ struct AppProfile
 
     /** Total heartbeats to completion (job length). */
     double totalHeartbeats = 1.0e9;
+
+    // --- Interactive (latency-critical) class -----------------------
+    //
+    // Meaningful only when type == AppType::Interactive.  An
+    // interactive application is an open-loop request server: requests
+    // arrive Poisson at `offeredLoad`, each needing an exponentially
+    // distributed amount of work with mean `hbPerRequest` heartbeats,
+    // so its service rate at a knob setting is hbRate / hbPerRequest
+    // and its tail latency must stay under `sloP99`.
+
+    /** Offered request load in requests per second. */
+    double offeredLoad = 0.0;
+
+    /** Mean request service demand in heartbeats. */
+    double hbPerRequest = 0.0;
+
+    /** 99th-percentile response-time SLO in seconds. */
+    double sloP99 = 0.0;
+
+    /** True for the latency-critical request-serving class. */
+    bool interactive() const { return type == AppType::Interactive; }
+
+    /**
+     * Service rate in requests per second when the application earns
+     * heartbeats at @p hb_rate (0 for non-interactive profiles).
+     */
+    double serviceRate(double hb_rate) const
+    {
+        return hbPerRequest > 0.0 ? hb_rate / hbPerRequest : 0.0;
+    }
 
     /** Validate parameter ranges; calls fatal() on nonsense. */
     void validate() const;

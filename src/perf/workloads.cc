@@ -1,5 +1,9 @@
 #include "workloads.hh"
 
+#include <sstream>
+
+#include "latency.hh"
+#include "perf_model.hh"
 #include "power/dram_power.hh"
 #include "power/platform.hh"
 #include "util/logging.hh"
@@ -50,6 +54,48 @@ makeProfile(std::string name, AppType type, double pf,
     double t_total = t_long + (1.0 - overlap) * t_short;
     p.totalHeartbeats = run_seconds / t_total;
 
+    if (type != AppType::Interactive)
+        p.validate();
+    return p;
+}
+
+/**
+ * Build one interactive (latency-critical) profile.  The roofline
+ * parameters are shared with makeProfile; the open-loop queueing
+ * parameters are derived from the profile's own maximal service
+ * capacity so every interactive workload lands with a meaningful SLO
+ * knee inside the platform's power range:
+ *
+ * @param hb_per_request Mean request cost in heartbeats.
+ * @param load_factor Utilization rho at the maximal knob setting;
+ *        sizes offeredLoad = load_factor * mu_max.
+ * @param slo_slack SLO headroom over the best achievable tail:
+ *        sloP99 = slo_slack * p99(mu_max, lambda).  Values around
+ *        2-3x put the knee mid-range, so tight caps genuinely
+ *        violate and generous caps genuinely satisfy.
+ */
+AppProfile
+makeInteractive(std::string name, double pf, double cpu_sec_per_hb,
+                double mem_ratio, double overlap, double activity,
+                double state_mb, double hb_per_request,
+                double load_factor, double slo_slack)
+{
+    AppProfile p = makeProfile(std::move(name), AppType::Interactive, pf,
+                               cpu_sec_per_hb, mem_ratio, overlap,
+                               activity, state_mb, 3600.0);
+    p.hbPerRequest = hb_per_request;
+
+    // Probe the roofline ceiling with placeholder queueing fields
+    // (PerfModel validates its profile; the queue parameters do not
+    // affect the roofline).
+    AppProfile probe = p;
+    probe.offeredLoad = 1.0;
+    probe.sloP99 = 1.0;
+    PerfModel model(power::defaultPlatform(), probe);
+    double mu_max = p.serviceRate(model.maxHbRate());
+
+    p.offeredLoad = load_factor * mu_max;
+    p.sloP99 = slo_slack * LatencyModel::p99(mu_max, p.offeredLoad);
     p.validate();
     return p;
 }
@@ -87,6 +133,36 @@ buildLibrary()
     return lib;
 }
 
+std::vector<AppProfile>
+buildInteractiveLibrary()
+{
+    std::vector<AppProfile> lib;
+    // name, parallel fraction, cpu s/hb, mem ratio, overlap, activity,
+    // resident MB, hb/request, load factor, SLO slack.
+    lib.push_back(makeInteractive("websearch", 0.90, 0.008, 0.55, 0.55,
+                                  0.85, 80.0, 6.0, 0.35, 3.0));
+    lib.push_back(makeInteractive("kvstore", 0.95, 0.003, 1.40, 0.70,
+                                  0.65, 60.0, 2.0, 0.50, 2.5));
+    lib.push_back(makeInteractive("inference", 0.85, 0.015, 0.35, 0.60,
+                                  0.92, 120.0, 10.0, 0.40, 2.5));
+    return lib;
+}
+
+/** Comma-separated names of every library workload, both classes. */
+std::string
+libraryNames()
+{
+    std::ostringstream names;
+    const char *sep = "";
+    for (const auto &p : workloadLibrary()) {
+        names << sep << p.name;
+        sep = ", ";
+    }
+    for (const auto &p : interactiveLibrary())
+        names << ", " << p.name;
+    return names.str();
+}
+
 } // namespace
 
 const std::vector<AppProfile> &
@@ -96,13 +172,25 @@ workloadLibrary()
     return library;
 }
 
+const std::vector<AppProfile> &
+interactiveLibrary()
+{
+    static const std::vector<AppProfile> library =
+        buildInteractiveLibrary();
+    return library;
+}
+
 const AppProfile &
 workload(const std::string &name)
 {
     for (const auto &p : workloadLibrary())
         if (p.name == name)
             return p;
-    fatal("unknown workload '%s'", name.c_str());
+    for (const auto &p : interactiveLibrary())
+        if (p.name == name)
+            return p;
+    fatal("unknown workload '%s' (expected one of %s)", name.c_str(),
+          libraryNames().c_str());
 }
 
 bool
@@ -111,7 +199,16 @@ hasWorkload(const std::string &name)
     for (const auto &p : workloadLibrary())
         if (p.name == name)
             return true;
+    for (const auto &p : interactiveLibrary())
+        if (p.name == name)
+            return true;
     return false;
+}
+
+std::string
+workloadNames()
+{
+    return libraryNames();
 }
 
 const std::vector<Mix> &

@@ -31,16 +31,32 @@ struct Mix
 };
 
 /**
- * All twelve calibrated application profiles.  The vector is built
- * once and lives for the program's lifetime.
+ * All twelve calibrated batch application profiles.  The vector is
+ * built once and lives for the program's lifetime.  Deliberately
+ * excludes the interactive class: corpus seeding and the paper-claim
+ * suites iterate this library, and the latency-critical profiles are
+ * not throughput jobs.
  */
 const std::vector<AppProfile> &workloadLibrary();
 
-/** Look up a profile by name; calls fatal() for unknown names. */
+/**
+ * The interactive (latency-critical) profiles: open-loop request
+ * servers with an offered load, a per-request heartbeat cost and a
+ * p99 SLO (AppType::Interactive).  Built once, program lifetime.
+ */
+const std::vector<AppProfile> &interactiveLibrary();
+
+/**
+ * Look up a profile by name in both libraries; calls fatal() with
+ * the full list of valid names for unknown ones.
+ */
 const AppProfile &workload(const std::string &name);
 
-/** True when @p name names a library workload. */
+/** True when @p name names a library workload (either class). */
 bool hasWorkload(const std::string &name);
+
+/** Comma-separated names of every library workload, both classes. */
+std::string workloadNames();
 
 /** The fifteen application mixes of Table II, in paper order. */
 const std::vector<Mix> &tableTwoMixes();

@@ -221,10 +221,19 @@ ServeEngine::applyCapChange(const EventRequest &ev)
 ApplyOutcome
 ServeEngine::applyArrival(const EventRequest &ev)
 {
-    const auto &library = perf::workloadLibrary();
+    // v2: the class selects the library the workload index points
+    // into; a per-request SLO override only makes sense for the
+    // interactive class.
+    const auto &library = ev.appClass == AppClass::Interactive
+                              ? perf::interactiveLibrary()
+                              : perf::workloadLibrary();
     if (ev.workload >= library.size())
         return {ReplyStatus::BadRequest, -1, -1};
-    const perf::AppProfile &profile = library[ev.workload];
+    if (ev.appClass == AppClass::Batch && ev.sloP99 != 0.0)
+        return {ReplyStatus::BadRequest, -1, -1};
+    perf::AppProfile profile = library[ev.workload];
+    if (ev.appClass == AppClass::Interactive && ev.sloP99 > 0.0)
+        profile.sloP99 = ev.sloP99;
 
     int node = ev.node;
     if (node == -1) {

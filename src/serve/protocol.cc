@@ -1,5 +1,7 @@
 #include "protocol.hh"
 
+#include <cmath>
+
 namespace psm::serve
 {
 
@@ -20,6 +22,18 @@ eventOpName(EventOp op)
         return "E4-phase-change";
       case EventOp::Kill:
         return "E3-kill";
+    }
+    return "unknown";
+}
+
+std::string
+appClassName(AppClass cls)
+{
+    switch (cls) {
+      case AppClass::Batch:
+        return "batch";
+      case AppClass::Interactive:
+        return "interactive";
     }
     return "unknown";
 }
@@ -58,6 +72,12 @@ validStatus(std::uint8_t raw)
     return raw <= static_cast<std::uint8_t>(ReplyStatus::BadRequest);
 }
 
+bool
+validClass(std::uint8_t raw)
+{
+    return raw <= static_cast<std::uint8_t>(AppClass::Interactive);
+}
+
 void
 putDigest(WireWriter &w, const DecisionDigest &d)
 {
@@ -94,6 +114,8 @@ encodeEventRequest(const EventRequest &ev)
     w.putF64(ev.cpuScale);
     w.putF64(ev.memScale);
     w.putU32(ev.deadlineUs);
+    w.putU8(static_cast<std::uint8_t>(ev.appClass));
+    w.putF64(ev.sloP99);
     return w.take();
 }
 
@@ -113,6 +135,13 @@ decodeEventRequest(const std::vector<std::uint8_t> &payload,
     out.cpuScale = r.f64();
     out.memScale = r.f64();
     out.deadlineUs = r.u32();
+    std::uint8_t cls = r.u8();
+    if (!validClass(cls))
+        return false;
+    out.appClass = static_cast<AppClass>(cls);
+    out.sloP99 = r.f64();
+    if (!std::isfinite(out.sloP99) || out.sloP99 < 0.0)
+        return false;
     return r.good() && r.atEnd();
 }
 

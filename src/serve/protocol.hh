@@ -40,6 +40,20 @@ enum class EventOp : std::uint8_t
 /** Printable op name. */
 std::string eventOpName(EventOp op);
 
+/**
+ * Workload class of an E2 arrival: which library the `workload` index
+ * selects.  Added in protocol version 2 together with the per-request
+ * SLO override.
+ */
+enum class AppClass : std::uint8_t
+{
+    Batch = 0,       ///< perf::workloadLibrary() index
+    Interactive = 1, ///< perf::interactiveLibrary() index
+};
+
+/** Printable class name. */
+std::string appClassName(AppClass cls);
+
 /** Status of an EVENT's reply. */
 enum class ReplyStatus : std::uint8_t
 {
@@ -67,6 +81,12 @@ struct EventRequest
     /** Wall-clock budget in microseconds; 0 = no deadline.  A request
      * still queued when it lapses is answered Expired, not applied. */
     std::uint32_t deadlineUs = 0;
+    /** Arrival: which workload library `workload` indexes (v2). */
+    AppClass appClass = AppClass::Batch;
+    /** Arrival: p99 SLO override in seconds for interactive arrivals;
+     * 0 keeps the profile's calibrated SLO (v2).  Must be finite and
+     * non-negative — decode rejects anything else. */
+    double sloP99 = 0.0;
 };
 
 /** Bit-exact summary of the cluster's decision state. */

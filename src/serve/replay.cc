@@ -1,5 +1,6 @@
 #include "replay.hh"
 
+#include <cmath>
 #include <sstream>
 
 #include "core/policy_registry.hh"
@@ -143,6 +144,8 @@ encodeCapturedEvent(const CapturedEvent &ev)
     trace::putF64(buf, r.cpuScale);
     trace::putF64(buf, r.memScale);
     trace::putU32(buf, r.deadlineUs);
+    trace::putU8(buf, static_cast<std::uint8_t>(r.appClass));
+    trace::putF64(buf, r.sloP99);
     trace::putU8(buf, static_cast<std::uint8_t>(ev.outcome.status));
     trace::putU32(buf,
                   static_cast<std::uint32_t>(ev.outcome.node));
@@ -156,7 +159,7 @@ decodeCapturedEvent(const std::vector<std::uint8_t> &payload,
                     CapturedEvent &out)
 {
     trace::ByteCursor c(payload);
-    std::uint8_t op = 0, status = 0;
+    std::uint8_t op = 0, cls = 0, status = 0;
     std::uint32_t node = 0, app = 0, onode = 0, oapp = 0;
     CapturedEvent ev;
     if (!c.getU8(op) || !c.getU32(node) || !c.getU32(app) ||
@@ -164,15 +167,21 @@ decodeCapturedEvent(const std::vector<std::uint8_t> &payload,
         !c.getF64(ev.request.value) ||
         !c.getF64(ev.request.cpuScale) ||
         !c.getF64(ev.request.memScale) ||
-        !c.getU32(ev.request.deadlineUs) || !c.getU8(status) ||
+        !c.getU32(ev.request.deadlineUs) || !c.getU8(cls) ||
+        !c.getF64(ev.request.sloP99) || !c.getU8(status) ||
         !c.getU32(onode) || !c.getU32(oapp) || !c.atEnd())
         return false;
     if (op < static_cast<std::uint8_t>(EventOp::Advance) ||
         op > static_cast<std::uint8_t>(EventOp::Kill))
         return false;
+    if (cls > static_cast<std::uint8_t>(AppClass::Interactive))
+        return false;
+    if (!std::isfinite(ev.request.sloP99) || ev.request.sloP99 < 0.0)
+        return false;
     if (status > static_cast<std::uint8_t>(ReplyStatus::BadRequest))
         return false;
     ev.request.op = static_cast<EventOp>(op);
+    ev.request.appClass = static_cast<AppClass>(cls);
     ev.request.node = static_cast<std::int32_t>(node);
     ev.request.appId = static_cast<std::int32_t>(app);
     ev.outcome.status = static_cast<ReplyStatus>(status);

@@ -1,6 +1,7 @@
 #include "application.hh"
 
 #include <algorithm>
+#include <cstdint>
 
 #include "util/logging.hh"
 
@@ -13,6 +14,22 @@ namespace
 constexpr double warmupRefillGBps = 3.0;
 /** Performance multiplier while the warm-up is in progress. */
 constexpr double warmupPerfFactor = 0.6;
+
+/**
+ * Deterministic request-queue seed: FNV-1a over the profile name,
+ * mixed with the app id so co-located instances of the same service
+ * draw independent streams.
+ */
+std::uint64_t
+queueSeed(int id, const std::string &name)
+{
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (unsigned char c : name) {
+        h ^= c;
+        h *= 0x100000001b3ULL;
+    }
+    return h ^ (static_cast<std::uint64_t>(id) * 0x9e3779b97f4a7c15ULL);
+}
 } // namespace
 
 std::string
@@ -39,8 +56,18 @@ Application::Application(int id, int socket,
       phases({Phase{}})
 {
     psm_assert(socket >= 0 && socket < config.sockets);
+    if (model.profile().interactive())
+        req_queue = std::make_unique<RequestQueue>(
+            model.profile(), queueSeed(id, model.profile().name));
     // First touch is cold: the app must stage its working set.
     warmup_left = warmupDuration();
+}
+
+void
+Application::advanceIdleQueue(Tick now, Tick dt)
+{
+    if (req_queue && run_state != AppState::Running && dt > 0)
+        req_queue->advance(now, now + dt, 0.0);
 }
 
 double
@@ -132,9 +159,14 @@ Application::step(Tick now, Tick dt, double freq_throttle,
     }
 
     result.beats = result.op.hbRate * perf_factor * toSeconds(dt);
+    if (req_queue)
+        req_queue->advance(now, now + dt,
+                           result.op.hbRate * perf_factor);
     double remaining =
         model.profile().totalHeartbeats - done_beats;
-    if (result.beats >= remaining) {
+    if (result.beats >= remaining && !req_queue) {
+        // Batch jobs complete; an interactive service is open-ended —
+        // its heartbeat budget only sizes progress accounting.
         result.beats = std::max(remaining, 0.0);
         run_state = AppState::Finished;
     }

@@ -12,12 +12,14 @@
 #ifndef PSM_SIM_APPLICATION_HH
 #define PSM_SIM_APPLICATION_HH
 
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "perf/heartbeats.hh"
 #include "perf/perf_model.hh"
 #include "power/platform.hh"
+#include "request_queue.hh"
 #include "util/units.hh"
 
 namespace psm::sim
@@ -119,6 +121,25 @@ class Application
     /** Total time spent suspended. */
     Tick suspendedTime() const { return suspended_time; }
 
+    /** True for the interactive (latency-critical) class. */
+    bool interactive() const { return model.profile().interactive(); }
+
+    /**
+     * The open-loop request queue; nullptr for batch applications.
+     * Seeded deterministically from the app id and profile name, so
+     * the same placement reproduces the same arrival stream.
+     */
+    RequestQueue *requestQueue() { return req_queue.get(); }
+    const RequestQueue *requestQueue() const { return req_queue.get(); }
+
+    /**
+     * Let an interactive app's open-loop arrivals accumulate while it
+     * is not Running (suspension stops service, not clients).  No-op
+     * for batch applications or when Running (step() advances the
+     * queue itself then).
+     */
+    void advanceIdleQueue(Tick now, Tick dt);
+
   private:
     int app_id;
     int home_socket;
@@ -128,6 +149,7 @@ class Application
     AppState run_state = AppState::Running;
     std::vector<Phase> phases;
     double done_beats = 0.0;
+    std::unique_ptr<RequestQueue> req_queue;
     Tick warmup_left = 0;
     Tick suspended_time = 0;
     Tick suspended_since = 0;

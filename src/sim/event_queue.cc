@@ -17,8 +17,13 @@ EventQueue::runUntil(Tick now)
 {
     std::size_t fired = 0;
     while (!heap.empty() && heap.top().when <= now) {
-        // Copy out before pop: the callback may schedule more events.
-        Event ev = heap.top();
+        // Move out before pop (the callback may schedule more events,
+        // invalidating top()).  priority_queue::top() is const, but
+        // popping immediately after makes the moved-from state
+        // unobservable — this avoids re-allocating the callback and
+        // label on every fire, which matters once open-loop arrival
+        // streams keep the queue hot.
+        Event ev = std::move(const_cast<Event &>(heap.top()));
         heap.pop();
         ev.cb(ev.when);
         ++fired;

@@ -219,8 +219,12 @@ Server::step()
     }
 
     for (auto &[id, app] : resident) {
-        if (!app->running())
+        if (!app->running()) {
+            // Open-loop clients don't pause with the server: a
+            // suspended interactive app keeps accumulating arrivals.
+            app->advanceIdleQueue(clock, step_ticks);
             continue;
+        }
         // RAPL package enforcement: translate the required power
         // reduction into a frequency multiplier via the inverse of
         // the power-frequency curve, as the hardware's running

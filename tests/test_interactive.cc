@@ -1,0 +1,355 @@
+/**
+ * @file
+ * Tests for the latency-critical (interactive) application class:
+ * profile validation and library, open-loop request-queue determinism
+ * and its M/M/1 closed-form cross-check, bit-identical replay across
+ * thread widths and shard sizes, checked cluster-configuration
+ * errors, and the v2 wire fields (app class + SLO).
+ */
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster_manager.hh"
+#include "cluster/node_pool.hh"
+#include "core/manager.hh"
+#include "core/utility_curve.hh"
+#include "perf/latency.hh"
+#include "perf/perf_model.hh"
+#include "perf/workloads.hh"
+#include "serve/protocol.hh"
+#include "sim/request_queue.hh"
+#include "sim/server.hh"
+#include "util/thread_pool.hh"
+
+namespace psm
+{
+namespace
+{
+
+TEST(InteractiveProfile, LibraryIsCalibratedAndValid)
+{
+    const auto &lib = perf::interactiveLibrary();
+    ASSERT_GE(lib.size(), 3u);
+    for (const perf::AppProfile &p : lib) {
+        EXPECT_TRUE(p.interactive());
+        EXPECT_GT(p.offeredLoad, 0.0);
+        EXPECT_GT(p.hbPerRequest, 0.0);
+        EXPECT_GT(p.sloP99, 0.0);
+        p.validate(); // must not die
+        // The calibration leaves the uncapped queue stable: the SLO
+        // knee is attainable at full power.
+        perf::PerfModel model(power::defaultPlatform(), p);
+        EXPECT_LT(p.offeredLoad, p.serviceRate(model.maxHbRate()));
+    }
+}
+
+TEST(InteractiveProfile, ValidationCatchesHalfBuiltProfiles)
+{
+    perf::AppProfile p = perf::interactiveLibrary()[0];
+    p.offeredLoad = 0.0;
+    EXPECT_DEATH(p.validate(), "offeredLoad");
+
+    // Interactive fields on a batch profile are equally a bug.
+    perf::AppProfile batch = perf::workload("stream");
+    batch.sloP99 = 0.1;
+    EXPECT_DEATH(batch.validate(), "interactive");
+}
+
+TEST(InteractiveProfile, LookupDiagnosticsListValidNames)
+{
+    EXPECT_TRUE(perf::hasWorkload("stream"));
+    EXPECT_TRUE(perf::hasWorkload("websearch"));
+    EXPECT_FALSE(perf::hasWorkload("webesearch"));
+    // Both classes appear in the advertised name list.
+    std::string names = perf::workloadNames();
+    EXPECT_NE(names.find("stream"), std::string::npos);
+    EXPECT_NE(names.find("websearch"), std::string::npos);
+    // A typo dies with the valid names, not a bare "unknown".
+    EXPECT_DEATH(perf::workload("webesearch"), "expected one of");
+}
+
+TEST(RequestQueue, DeterministicForIdenticalStepSequences)
+{
+    const perf::AppProfile &p = perf::interactiveLibrary()[0];
+    sim::RequestQueue a(p, 42);
+    sim::RequestQueue b(p, 42);
+    // Heartbeat rate placing the queue at rho = 0.6.
+    double rate = p.offeredLoad * p.hbPerRequest / 0.6;
+    Tick t = 0;
+    for (int i = 0; i < 50; ++i) {
+        Tick next = t + toTicks(0.5);
+        a.advance(t, next, rate);
+        b.advance(t, next, rate);
+        t = next;
+    }
+    EXPECT_GT(a.completed(), 0u);
+    EXPECT_EQ(a.arrivals(), b.arrivals());
+    EXPECT_EQ(a.completed(), b.completed());
+    EXPECT_EQ(a.sloViolations(), b.sloViolations());
+    EXPECT_EQ(a.p99(), b.p99());
+    EXPECT_EQ(a.meanResponse(), b.meanResponse());
+}
+
+TEST(RequestQueue, ArrivalsAccumulateWhileServiceIsStalled)
+{
+    const perf::AppProfile &p = perf::interactiveLibrary()[0];
+    sim::RequestQueue q(p, 7);
+    q.advance(0, toTicks(5.0), 0.0);
+    EXPECT_GT(q.arrivals(), 0u);
+    EXPECT_EQ(q.completed(), 0u);
+    EXPECT_EQ(q.depth(), q.arrivals());
+}
+
+TEST(RequestQueue, AgreesWithLatencyModelAtLowUtilization)
+{
+    // At a constant heartbeat rate the queue is exactly M/M/1;
+    // perf::LatencyModel is its closed form.  bench_slo --check
+    // enforces a tighter tolerance over longer runs.
+    perf::AppProfile p = perf::interactiveLibrary()[1];
+    const double mu = 500.0;
+    const double rho = 0.4;
+    p.offeredLoad = rho * mu;
+    p.sloP99 = perf::LatencyModel::p99(mu, p.offeredLoad);
+    p.validate();
+
+    sim::RequestQueue q(p, 12345);
+    q.advance(0, toTicks(300.0), mu * p.hbPerRequest);
+    ASSERT_GT(q.completed(), 10000u);
+    EXPECT_NEAR(q.p99(), p.sloP99, 0.2 * p.sloP99);
+    double mean = perf::LatencyModel::meanSojourn(mu, p.offeredLoad);
+    EXPECT_NEAR(q.meanResponse(), mean, 0.2 * mean);
+}
+
+TEST(InteractiveSlo, FromProfileOnlyValidForInteractive)
+{
+    core::InteractiveSlo batch =
+        core::InteractiveSlo::fromProfile(perf::workload("stream"));
+    EXPECT_FALSE(batch.valid());
+    const perf::AppProfile &ip = perf::interactiveLibrary()[2];
+    core::InteractiveSlo slo = core::InteractiveSlo::fromProfile(ip);
+    ASSERT_TRUE(slo.valid());
+    EXPECT_DOUBLE_EQ(slo.offeredLoad, ip.offeredLoad);
+    EXPECT_DOUBLE_EQ(slo.hbPerRequest, ip.hbPerRequest);
+    EXPECT_DOUBLE_EQ(slo.sloP99, ip.sloP99);
+}
+
+/** Fingerprint of every record's request statistics. */
+std::vector<double>
+recordStats(cluster::NodePool &pool)
+{
+    std::vector<double> out;
+    for (auto &node : pool) {
+        for (const core::AppRecord &rec : node.manager->records()) {
+            out.push_back(rec.beats);
+            out.push_back(static_cast<double>(rec.requestArrivals));
+            out.push_back(
+                static_cast<double>(rec.requestCompletions));
+            out.push_back(
+                static_cast<double>(rec.requestSloViolations));
+            out.push_back(rec.requestP99);
+            out.push_back(rec.requestMeanResponse);
+        }
+    }
+    return out;
+}
+
+std::vector<double>
+mixedPoolRun(int shard_size)
+{
+    cluster::NodePoolConfig pc;
+    pc.servers = 3;
+    pc.manager.oracleUtilities = true;
+    pc.seedWorkloadCorpus = false;
+    pc.seedBase = 5;
+    pc.serverCap = 95.0;
+    pc.shardSize = shard_size;
+    cluster::NodePool pool(pc);
+    const auto &ilib = perf::interactiveLibrary();
+    const char *batch[] = {"stream", "kmeans", "x264"};
+    for (std::size_t s = 0; s < pool.size(); ++s) {
+        pool[s].manager->addApp(ilib[s % ilib.size()]);
+        pool[s].manager->addApp(perf::workload(batch[s]));
+    }
+    pool.runAll(toTicks(4.0));
+    for (auto &node : pool)
+        node.manager->setCap(75.0);
+    pool.runAll(toTicks(4.0));
+    return recordStats(pool);
+}
+
+TEST(InteractiveDeterminism, BitIdenticalAcrossWidthsAndShards)
+{
+    struct ScopedPoolWidth
+    {
+        explicit ScopedPoolWidth(unsigned width)
+        {
+            util::ThreadPool::configureGlobal(width);
+        }
+        ~ScopedPoolWidth() { util::ThreadPool::configureGlobal(0); }
+    };
+
+    std::vector<double> reference;
+    for (unsigned width : {1u, 4u}) {
+        ScopedPoolWidth scoped(width);
+        for (int shard : {1, 64}) {
+            std::vector<double> stats = mixedPoolRun(shard);
+            if (reference.empty()) {
+                reference = stats;
+                // The scenario must actually exercise the queues.
+                double completions = 0.0;
+                for (std::size_t i = 2; i < stats.size(); i += 6)
+                    completions += stats[i];
+                EXPECT_GT(completions, 0.0);
+            } else {
+                ASSERT_EQ(stats.size(), reference.size());
+                for (std::size_t i = 0; i < stats.size(); ++i)
+                    EXPECT_EQ(stats[i], reference[i])
+                        << "width " << width << " shard " << shard
+                        << " stat " << i;
+            }
+        }
+    }
+}
+
+TEST(ClusterConfigValidate, ChecksNamesPoliciesAndRanges)
+{
+    cluster::ClusterConfig good;
+    good.corpusWorkloads = {"stream", "websearch"};
+    good.interactivePerServer = 1;
+    std::string err;
+    EXPECT_TRUE(good.validate(&err)) << err;
+
+    cluster::ClusterConfig bad = good;
+    bad.corpusWorkloads = {"stream", "webesearch"};
+    ASSERT_FALSE(bad.validate(&err));
+    // The checked error names the offender and lists valid names
+    // (satellite of the fatal()-on-typo corpus-seeding bug).
+    EXPECT_NE(err.find("webesearch"), std::string::npos);
+    EXPECT_NE(err.find("stream"), std::string::npos);
+    EXPECT_NE(err.find("websearch"), std::string::npos);
+
+    cluster::ClusterConfig bad_policy = good;
+    bad_policy.managedPolicy = "no-such-policy";
+    ASSERT_FALSE(bad_policy.validate(&err));
+    EXPECT_NE(err.find("no-such-policy"), std::string::npos);
+    EXPECT_NE(err.find("app-res-esd-aware"), std::string::npos);
+
+    cluster::ClusterConfig bad_range = good;
+    bad_range.interactivePerServer = 3;
+    EXPECT_FALSE(bad_range.validate(&err));
+    bad_range.interactivePerServer = -1;
+    EXPECT_FALSE(bad_range.validate(&err));
+    bad_range.servers = 0;
+    bad_range.interactivePerServer = 0;
+    EXPECT_FALSE(bad_range.validate(&err));
+
+    // validate(nullptr) is legal (existence check only).
+    EXPECT_FALSE(bad.validate(nullptr));
+
+    // The constructor defends with the same diagnostic for callers
+    // that skipped validate().
+    EXPECT_DEATH(cluster::ClusterManager mgr(bad), "expected one of");
+}
+
+TEST(InteractiveCluster, MixedPopulationReplaysUnderEachPolicy)
+{
+    for (cluster::ClusterPolicy policy :
+         {cluster::ClusterPolicy::EqualOurs,
+          cluster::ClusterPolicy::ConsolidationMigration}) {
+        cluster::ClusterConfig cfg;
+        cfg.policy = policy;
+        cfg.servers = 3;
+        cfg.interactivePerServer = 1;
+        cfg.migrationDowntime = toTicks(2.0);
+        cfg.serverBootDelay = toTicks(2.0);
+        cluster::ClusterManager cm(cfg);
+        cm.populateDefault();
+        EXPECT_EQ(cm.appCount(), 6u); // still two per server
+
+        cluster::PowerTrace caps;
+        caps.interval = toTicks(5.0);
+        Watts demand = cm.uncappedDemandEstimate();
+        caps.values = {demand, demand * 0.6, demand * 0.8};
+        cluster::ClusterResult r = cm.replay(caps);
+        EXPECT_EQ(r.duration, caps.duration());
+        EXPECT_GT(r.aggregatePerf, 0.0);
+        EXPECT_LE(r.aggregatePerf, 1.01);
+        EXPECT_GT(r.avgClusterPower, 0.0);
+    }
+}
+
+TEST(ServeWire, EventRequestCarriesClassAndSlo)
+{
+    serve::EventRequest ev;
+    ev.op = serve::EventOp::Arrival;
+    ev.appClass = serve::AppClass::Interactive;
+    ev.workload = 1;
+    ev.sloP99 = 0.25;
+    std::vector<std::uint8_t> bytes = serve::encodeEventRequest(ev);
+    serve::EventRequest back;
+    ASSERT_TRUE(serve::decodeEventRequest(bytes, back));
+    EXPECT_EQ(back.appClass, serve::AppClass::Interactive);
+    EXPECT_DOUBLE_EQ(back.sloP99, 0.25);
+
+    // An out-of-range class byte is rejected at decode.  The class
+    // is the last-but-9th byte (u8 class + f64 slo close the frame).
+    std::vector<std::uint8_t> mutated = bytes;
+    mutated[mutated.size() - 9] = 77;
+    EXPECT_FALSE(serve::decodeEventRequest(mutated, back));
+
+    // A non-finite SLO is rejected at decode.
+    serve::EventRequest inf_ev = ev;
+    inf_ev.sloP99 = std::numeric_limits<double>::infinity();
+    std::vector<std::uint8_t> inf_bytes =
+        serve::encodeEventRequest(inf_ev);
+    EXPECT_FALSE(serve::decodeEventRequest(inf_bytes, back));
+
+    // Truncated v1-style frames (no class/SLO tail) fail loudly.
+    std::vector<std::uint8_t> truncated(
+        bytes.begin(), bytes.end() - 9);
+    EXPECT_FALSE(serve::decodeEventRequest(truncated, back));
+}
+
+TEST(ManagerInteractive, RecordsTrackQueueAndSloAttainment)
+{
+    sim::Server server;
+    server.setCap(100.0);
+    core::ManagerConfig cfg;
+    cfg.oracleUtilities = true;
+    core::ServerManager manager(server, cfg);
+    int iid = manager.addApp(perf::interactiveLibrary()[1]);
+    manager.addApp(perf::workload("stream"));
+    manager.run(toTicks(20.0));
+
+    bool found = false;
+    for (const core::AppRecord &rec : manager.records()) {
+        if (rec.id != iid) {
+            EXPECT_FALSE(rec.interactive);
+            continue;
+        }
+        found = true;
+        EXPECT_TRUE(rec.interactive);
+        EXPECT_GT(rec.sloP99, 0.0);
+        EXPECT_GT(rec.requestArrivals, 0u);
+        EXPECT_GT(rec.requestCompletions, 0u);
+        EXPECT_GT(rec.requestP99, 0.0);
+        // An interactive service is judged on SLO attainment and
+        // never "finishes".
+        EXPECT_FALSE(rec.done);
+        EXPECT_LE(rec.normalizedPerf(server.now()), 1.0);
+        EXPECT_GT(rec.normalizedPerf(server.now()), 0.0);
+    }
+    EXPECT_TRUE(found);
+    // The interactive.* trace events surfaced on the bus.
+    EXPECT_GT(manager.telemetry().counter("interactive.arrivals"),
+              0u);
+    EXPECT_GT(manager.telemetry().counter("interactive.completions"),
+              0u);
+}
+
+} // namespace
+} // namespace psm
